@@ -1,0 +1,286 @@
+// Package amop prices American (and European) options with the fast
+// FFT-based nonlinear-stencil algorithms of Ahmad, Browne, Chowdhury, Das,
+// Huang and Zhu, "Fast American Option Pricing using Nonlinear Stencils"
+// (PPoPP 2024), together with the complete ladder of classical baseline
+// algorithms the paper benchmarks against.
+//
+// The headline algorithms run in O(T log^2 T) work and O(T) span for a
+// T-step discretization, versus Theta(T^2) for every classical method:
+//
+//   - American calls under the binomial model (BOPM, Cox-Ross-Rubinstein);
+//   - American calls under the trinomial model (TOPM, Boyle);
+//   - American puts under the Black-Scholes-Merton model via an explicit
+//     projected finite-difference scheme.
+//
+// Quick start:
+//
+//	opt := amop.Option{Type: amop.Call, S: 127.62, K: 130, R: 0.00163,
+//		V: 0.2, Y: 0.0163, E: 1.0}
+//	price, err := amop.PriceAmerican(opt, 10000)
+//
+// For control over the model and algorithm use Price with a Config. The
+// generic stencil machinery itself (linear FFT stencils and free-boundary
+// nonlinear stencils) is exposed in the stencil subpackage for applications
+// beyond finance.
+package amop
+
+import (
+	"fmt"
+
+	"github.com/nlstencil/amop/internal/bopm"
+	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/option"
+	"github.com/nlstencil/amop/internal/topm"
+)
+
+// OptionType distinguishes calls from puts.
+type OptionType int
+
+const (
+	// Call is the right to buy the underlying at the strike.
+	Call OptionType = iota
+	// Put is the right to sell the underlying at the strike.
+	Put
+)
+
+// String returns "call" or "put".
+func (t OptionType) String() string { return option.Kind(t).String() }
+
+// Option describes an option contract and its market environment. Rates are
+// annualized with continuous compounding; E is the time to expiry in years.
+type Option struct {
+	Type OptionType
+	S    float64 // spot price of the underlying
+	K    float64 // strike price
+	R    float64 // risk-free rate
+	V    float64 // volatility
+	Y    float64 // continuous dividend yield
+	E    float64 // time to expiry (years)
+}
+
+func (o Option) params() option.Params {
+	return option.Params{S: o.S, K: o.K, R: o.R, V: o.V, Y: o.Y, E: o.E}
+}
+
+// Model selects the discretization.
+type Model int
+
+const (
+	// Binomial is the Cox-Ross-Rubinstein binomial tree (paper Section 2).
+	Binomial Model = iota
+	// Trinomial is Boyle's trinomial tree (paper Section 3).
+	Trinomial
+	// BlackScholesFD is the explicit finite-difference discretization of
+	// the Black-Scholes-Merton PDE (paper Section 4). American pricing is
+	// supported for puts only under this model.
+	BlackScholesFD
+)
+
+// String names the model as in the paper's legends.
+func (m Model) String() string {
+	switch m {
+	case Binomial:
+		return "bopm"
+	case Trinomial:
+		return "topm"
+	case BlackScholesFD:
+		return "bsm"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Algorithm selects the pricing algorithm.
+type Algorithm int
+
+const (
+	// Fast is the paper's FFT-based nonlinear-stencil algorithm:
+	// O(T log^2 T) work, O(T) span.
+	Fast Algorithm = iota
+	// Naive is the standard serial nested loop (Figure 1), Theta(T^2).
+	Naive
+	// NaiveParallel is the row-parallel nested loop (the paper's ql-bopm /
+	// vanilla baselines).
+	NaiveParallel
+	// Tiled is the cache-aware split-tiled loop (the paper's zb-bopm
+	// baseline). Binomial and trinomial models only.
+	Tiled
+	// Recursive is the cache-oblivious recursive-tiling sweep (Table 2).
+	// Binomial and trinomial models only.
+	Recursive
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Fast:
+		return "fast"
+	case Naive:
+		return "naive"
+	case NaiveParallel:
+		return "naive-parallel"
+	case Tiled:
+		return "tiled"
+	case Recursive:
+		return "recursive"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Config controls Price.
+type Config struct {
+	Steps     int       // number of time steps T (required, >= 1)
+	Algorithm Algorithm // defaults to Fast
+	European  bool      // drop the early-exercise right
+	// TileW and TileH configure the Tiled algorithm; zero selects
+	// L1-cache-sized defaults.
+	TileW, TileH int
+	// Lambda is the FD ratio dtau/ds^2 for BlackScholesFD; zero selects
+	// the default 1/3.
+	Lambda float64
+	// BaseCase overrides the fast solver's recursion cutoff (ablations);
+	// zero selects the paper's tuned default.
+	BaseCase int
+}
+
+// Price prices the option under the given model and configuration.
+func Price(o Option, m Model, cfg Config) (float64, error) {
+	if cfg.Steps < 1 {
+		return 0, fmt.Errorf("amop: Config.Steps = %d must be >= 1", cfg.Steps)
+	}
+	kind := option.Kind(o.Type)
+	switch m {
+	case Binomial:
+		mdl, err := bopm.New(o.params(), cfg.Steps)
+		if err != nil {
+			return 0, err
+		}
+		mdl.SetBaseCase(cfg.BaseCase)
+		if cfg.European {
+			return priceEuropeanLattice(cfg, kind,
+				mdl.PriceEuropean, mdl.PriceEuropeanNaive)
+		}
+		return priceAmericanLattice(cfg, kind,
+			mdl.PriceFast, mdl.PriceFastPut, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
+	case Trinomial:
+		mdl, err := topm.New(o.params(), cfg.Steps)
+		if err != nil {
+			return 0, err
+		}
+		mdl.SetBaseCase(cfg.BaseCase)
+		if cfg.European {
+			return priceEuropeanLattice(cfg, kind,
+				mdl.PriceEuropean, mdl.PriceEuropeanNaive)
+		}
+		return priceAmericanLattice(cfg, kind,
+			mdl.PriceFast, mdl.PriceFastPut, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
+	case BlackScholesFD:
+		mdl, err := bsm.New(o.params(), cfg.Steps, cfg.Lambda)
+		if err != nil {
+			return 0, err
+		}
+		mdl.SetBaseCase(cfg.BaseCase)
+		if cfg.European {
+			if kind != option.Put {
+				return 0, fmt.Errorf("amop: the BlackScholesFD grid prices puts; use BlackScholes for European calls or a lattice model")
+			}
+			switch cfg.Algorithm {
+			case Fast:
+				return mdl.PriceEuropean(), nil
+			case Naive, NaiveParallel:
+				return mdl.PriceEuropeanNaive(), nil
+			default:
+				return 0, fmt.Errorf("amop: algorithm %v not available for European %v", cfg.Algorithm, m)
+			}
+		}
+		if kind != option.Put {
+			return 0, fmt.Errorf("amop: American pricing under BlackScholesFD supports puts only (the paper's Section 4); use Binomial or Trinomial for calls")
+		}
+		switch cfg.Algorithm {
+		case Fast:
+			return mdl.PriceFast()
+		case Naive:
+			return mdl.PriceNaive(), nil
+		case NaiveParallel:
+			return mdl.PriceNaiveParallel(), nil
+		default:
+			return 0, fmt.Errorf("amop: algorithm %v not available for model %v", cfg.Algorithm, m)
+		}
+	default:
+		return 0, fmt.Errorf("amop: unknown model %v", m)
+	}
+}
+
+// priceAmericanLattice dispatches an American lattice pricing request to the
+// concrete algorithm implementations. Fast calls are the paper's algorithm;
+// fast puts are this library's experimental extension (empirically validated
+// green-left boundary structure — see internal/fbstencil/greenleftos.go).
+func priceAmericanLattice(
+	cfg Config, kind option.Kind,
+	fast func() (float64, error),
+	fastPut func() (float64, error),
+	naive, naivePar func(option.Kind) float64,
+	tiled func(option.Kind, int, int) float64,
+	recursive func(option.Kind) float64,
+) (float64, error) {
+	switch cfg.Algorithm {
+	case Fast:
+		if kind == option.Put {
+			return fastPut()
+		}
+		return fast()
+	case Naive:
+		return naive(kind), nil
+	case NaiveParallel:
+		return naivePar(kind), nil
+	case Tiled:
+		return tiled(kind, cfg.TileW, cfg.TileH), nil
+	case Recursive:
+		return recursive(kind), nil
+	default:
+		return 0, fmt.Errorf("amop: unknown algorithm %v", cfg.Algorithm)
+	}
+}
+
+func priceEuropeanLattice(
+	cfg Config, kind option.Kind,
+	fast func(option.Kind) float64,
+	naive func(option.Kind) float64,
+) (float64, error) {
+	switch cfg.Algorithm {
+	case Fast:
+		return fast(kind), nil
+	case Naive, NaiveParallel:
+		return naive(kind), nil
+	default:
+		return 0, fmt.Errorf("amop: algorithm %v not available for European lattice pricing", cfg.Algorithm)
+	}
+}
+
+// PriceAmerican prices an American option with the fast algorithm under the
+// natural model for its type: binomial for calls (Section 2 of the paper),
+// Black-Scholes-Merton finite differences for puts (Section 4). (Fast puts
+// directly on the binomial lattice are also available through Price as an
+// experimental extension.)
+func PriceAmerican(o Option, steps int) (float64, error) {
+	m := Binomial
+	if o.Type == Put {
+		m = BlackScholesFD
+	}
+	return Price(o, m, Config{Steps: steps})
+}
+
+// PriceEuropean prices a European option on the binomial lattice with a
+// single T-step FFT evolution, O(T log T).
+func PriceEuropean(o Option, steps int) (float64, error) {
+	return Price(o, Binomial, Config{Steps: steps, European: true})
+}
+
+// BlackScholes returns the closed-form European Black-Scholes-Merton value
+// (with continuous dividend yield).
+func BlackScholes(o Option) (float64, error) {
+	p := o.params()
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return option.BlackScholes(p, option.Kind(o.Type)), nil
+}

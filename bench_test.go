@@ -1,0 +1,260 @@
+// Benchmarks regenerating each of the paper's tables and figures at fixed
+// representative sizes. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full parameter sweeps (with CSV output) live in cmd/amop-bench; these
+// testing.B entry points pin one size per series so `go test -bench` gives a
+// complete, quick cross-section of every experiment.
+package amop_test
+
+import (
+	"testing"
+
+	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/bopm"
+	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/cachesim"
+	"github.com/nlstencil/amop/internal/energy"
+	"github.com/nlstencil/amop/internal/option"
+	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/topm"
+	"github.com/nlstencil/amop/internal/trace"
+)
+
+const (
+	benchT     = 1 << 14 // wall-clock series (Figure 5)
+	benchScalT = 1 << 15 // Table 5 worker-scaling series
+	benchSimT  = 1 << 11 // simulated-counter series (Figures 6, 7, 10)
+)
+
+// --- Figure 5(a): BOPM running time -----------------------------------------
+
+func BenchmarkFig5aFFTBopm(b *testing.B) {
+	m := mustBOPM(b, benchT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PriceFast(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5aQlBopm(b *testing.B) {
+	m := mustBOPM(b, benchT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceNaiveParallel(option.Call)
+	}
+}
+
+func BenchmarkFig5aZbBopm(b *testing.B) {
+	m := mustBOPM(b, benchT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceTiled(option.Call, 0, 0)
+	}
+}
+
+func BenchmarkTable2RecursiveBopm(b *testing.B) {
+	m := mustBOPM(b, benchT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceRecursive(option.Call)
+	}
+}
+
+func BenchmarkTable2SerialNaiveBopm(b *testing.B) {
+	m := mustBOPM(b, benchT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceNaive(option.Call)
+	}
+}
+
+// --- Figure 5(b): TOPM -------------------------------------------------------
+
+func BenchmarkFig5bFFTTopm(b *testing.B) {
+	m, err := topm.New(option.Default(), benchT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PriceFast(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5bVanillaTopm(b *testing.B) {
+	m, err := topm.New(option.Default(), benchT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceNaiveParallel(option.Call)
+	}
+}
+
+// --- Figure 5(c): BSM --------------------------------------------------------
+
+func BenchmarkFig5cFFTBsm(b *testing.B) {
+	m, err := bsm.New(option.Default(), benchT, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PriceFast(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5cVanillaBsm(b *testing.B) {
+	m, err := bsm.New(option.Default(), benchT, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceNaiveParallel()
+	}
+}
+
+// --- Table 5: scaling with worker count p ------------------------------------
+
+func benchWorkers(b *testing.B, p int) {
+	m := mustBOPM(b, benchScalT)
+	prev := par.SetWorkers(p)
+	defer par.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PriceFast(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5FFTBopmP1(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkTable5FFTBopmP2(b *testing.B) { benchWorkers(b, 2) }
+func BenchmarkTable5FFTBopmP4(b *testing.B) { benchWorkers(b, 4) }
+func BenchmarkTable5FFTBopmP8(b *testing.B) { benchWorkers(b, 8) }
+
+func BenchmarkTable5QlBopmP1(b *testing.B) {
+	m := mustBOPM(b, benchScalT)
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceNaiveParallel(option.Call)
+	}
+}
+
+// --- Figures 6, 7, 10: simulated counters + energy model ---------------------
+
+func benchTraced(b *testing.B, run func(h *cachesim.Hierarchy)) {
+	em := energy.Skylake()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cachesim.NewSKX()
+		run(h)
+		c := h.Snapshot()
+		br := em.Energy(c, 0)
+		b.ReportMetric(float64(c.L1Misses), "L1miss")
+		b.ReportMetric(float64(c.L2Misses), "L2miss")
+		b.ReportMetric(br.Total*1e3, "mJ(dyn)")
+	}
+}
+
+func BenchmarkFig67TracedFFTBopm(b *testing.B) {
+	spec := trace.BOPMSpec(mustBOPM(b, benchSimT))
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.FastGR(h, spec) })
+}
+
+func BenchmarkFig67TracedQlBopm(b *testing.B) {
+	spec := trace.BOPMSpec(mustBOPM(b, benchSimT))
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.NaiveGR(h, spec) })
+}
+
+func BenchmarkFig67TracedZbBopm(b *testing.B) {
+	spec := trace.BOPMSpec(mustBOPM(b, benchSimT))
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.TiledGR(h, spec, 0, 0) })
+}
+
+func BenchmarkFig67TracedFFTTopm(b *testing.B) {
+	m, err := topm.New(option.Default(), benchSimT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := trace.TOPMSpec(m)
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.FastGR(h, spec) })
+}
+
+func BenchmarkFig67TracedVanillaTopm(b *testing.B) {
+	m, err := topm.New(option.Default(), benchSimT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := trace.TOPMSpec(m)
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.NaiveGR(h, spec) })
+}
+
+func BenchmarkFig67TracedFFTBsm(b *testing.B) {
+	m, err := bsm.New(option.Default(), benchSimT, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := trace.BSMSpec(m)
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.FastGL(h, spec) })
+}
+
+func BenchmarkFig67TracedVanillaBsm(b *testing.B) {
+	m, err := bsm.New(option.Default(), benchSimT, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := trace.BSMSpec(m)
+	benchTraced(b, func(h *cachesim.Hierarchy) { trace.NaiveGL(h, spec) })
+}
+
+// --- Extensions --------------------------------------------------------------
+
+func BenchmarkBermudanQuarterly(b *testing.B) {
+	o := amop.Option{Type: amop.Put, S: 127.62, K: 130, R: 0.00163, V: 0.2, Y: 0.0163, E: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := amop.PriceBermudan(o, benchT, benchT/4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEuropeanFFT(b *testing.B) {
+	m := mustBOPM(b, benchT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PriceEuropean(option.Call)
+	}
+}
+
+func BenchmarkGreeks(b *testing.B) {
+	o := amop.Option{Type: amop.Call, S: 127.62, K: 130, R: 0.00163, V: 0.2, Y: 0.0163, E: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := amop.GreeksAmerican(o, 1<<12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustBOPM(b *testing.B, T int) *bopm.Model {
+	b.Helper()
+	m, err := bopm.New(option.Default(), T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}

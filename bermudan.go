@@ -1,0 +1,35 @@
+package amop
+
+import (
+	"fmt"
+
+	"github.com/nlstencil/amop/internal/bopm"
+	"github.com/nlstencil/amop/internal/option"
+)
+
+// PriceBermudan prices a Bermudan option (exercisable only on a discrete
+// schedule) on the binomial lattice with steps time steps, allowing exercise
+// at every `every`-th step counted from expiry. The valuation date itself is
+// exercisable iff steps is a multiple of every, so every=1 recovers the
+// American price and large values approach the European price.
+//
+// Between exercise dates the value evolves linearly and is advanced by one
+// multi-step FFT per block — O((steps/every) * steps * log steps) work, the
+// paper's Bermudan future-work item. Both calls and puts are supported.
+//
+// Numerical range: the FFT's absolute error scales with the largest value in
+// the row. Put rows are bounded by K, so puts are well conditioned at any
+// supported steps; call rows grow like S*e^(V*sqrt(E*steps)) toward the
+// deep-ITM edge, so Bermudan calls lose roughly
+// log10(S*e^(V*sqrt(E*steps)))-16 digits — keep V*sqrt(E*steps) under ~25
+// (steps up to ~10^4 at 20% vol) for full precision.
+func PriceBermudan(o Option, steps, every int) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("amop: steps = %d must be >= 1", steps)
+	}
+	m, err := bopm.New(o.params(), steps)
+	if err != nil {
+		return 0, err
+	}
+	return m.PriceBermudan(option.Kind(o.Type), every)
+}

@@ -1,0 +1,51 @@
+// Command amop-bench regenerates the paper's tables and figures as text
+// tables and CSV files.
+//
+// Usage:
+//
+//	amop-bench -experiment all                    # everything, default caps
+//	amop-bench -experiment fig5a -maxT 524288     # one figure, bigger sweep
+//	amop-bench -experiment fig7 -maxTraceT 16384  # deeper cache simulation
+//	amop-bench -list
+//
+// Experiment IDs map one-to-one onto the paper: fig5a/fig5b/fig5c (running
+// time), fig6 (energy), fig7 (cache misses), fig10 (energy by domain),
+// table5 (scaling with p), table2 (work exponents), accuracy, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nlstencil/amop/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID or 'all'")
+		maxT       = flag.Int("maxT", 1<<17, "largest T for fast-algorithm sweeps")
+		maxQuadT   = flag.Int("maxQuadT", 1<<15, "largest T for quadratic baselines (wall clock)")
+		maxTraceT  = flag.Int("maxTraceT", 1<<13, "largest T for traced (simulated) runs")
+		outDir     = flag.String("out", "", "directory for CSV output (empty: stdout only)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := harness.Config{
+		MaxT:      *maxT,
+		MaxQuadT:  *maxQuadT,
+		MaxTraceT: *maxTraceT,
+		OutDir:    *outDir,
+	}
+	if err := harness.RunByID(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "amop-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command amop-price prices a single option from the command line.
+//
+// Usage:
+//
+//	amop-price -type call -S 127.62 -K 130 -R 0.00163 -V 0.2 -Y 0.0163 -E 1 -steps 10000
+//	amop-price -type put -model bsm -steps 50000 -greeks
+//	amop-price -type call -european -algorithm naive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nlstencil/amop"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "call", "option type: call or put")
+		s        = flag.Float64("S", 127.62, "spot price")
+		k        = flag.Float64("K", 130, "strike price")
+		r        = flag.Float64("R", 0.00163, "risk-free rate (annualized)")
+		v        = flag.Float64("V", 0.2, "volatility (annualized)")
+		y        = flag.Float64("Y", 0.0163, "dividend yield (annualized)")
+		e        = flag.Float64("E", 1.0, "time to expiry in years")
+		steps    = flag.Int("steps", 10000, "time steps T")
+		model    = flag.String("model", "", "bopm, topm or bsm (default: bopm for calls, bsm for American puts)")
+		algo     = flag.String("algorithm", "fast", "fast, naive, naive-parallel, tiled or recursive")
+		european = flag.Bool("european", false, "price the European style instead of American")
+		greeks   = flag.Bool("greeks", false, "also print Greeks (American, fast pricer)")
+		bermudan = flag.Int("bermudan", 0, "if > 0, price Bermudan with this exercise interval (binomial lattice)")
+	)
+	flag.Parse()
+
+	opt := amop.Option{S: *s, K: *k, R: *r, V: *v, Y: *y, E: *e}
+	switch *typ {
+	case "call":
+		opt.Type = amop.Call
+	case "put":
+		opt.Type = amop.Put
+	default:
+		fail(fmt.Errorf("unknown option type %q", *typ))
+	}
+
+	mdl := amop.Binomial
+	switch *model {
+	case "bopm":
+	case "topm":
+		mdl = amop.Trinomial
+	case "bsm":
+		mdl = amop.BlackScholesFD
+	case "":
+		if opt.Type == amop.Put && !*european {
+			mdl = amop.BlackScholesFD
+		}
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+
+	alg := map[string]amop.Algorithm{
+		"fast": amop.Fast, "naive": amop.Naive, "naive-parallel": amop.NaiveParallel,
+		"tiled": amop.Tiled, "recursive": amop.Recursive,
+	}[*algo]
+
+	if *bermudan > 0 {
+		price, err := amop.PriceBermudan(opt, *steps, *bermudan)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Bermudan %s (every %d steps of %d): %.6f\n", opt.Type, *bermudan, *steps, price)
+		return
+	}
+
+	price, err := amop.Price(opt, mdl, amop.Config{Steps: *steps, Algorithm: alg, European: *european})
+	if err != nil {
+		fail(err)
+	}
+	style := "American"
+	if *european {
+		style = "European"
+	}
+	fmt.Printf("%s %s under %s (%s, T=%d): %.6f\n", style, opt.Type, mdl, alg, *steps, price)
+
+	if bs, err := amop.BlackScholes(opt); err == nil {
+		fmt.Printf("Black-Scholes closed form (European reference): %.6f\n", bs)
+	}
+
+	if *greeks {
+		g, err := amop.GreeksAmerican(opt, *steps)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("delta %.4f  gamma %.6f  theta %.4f  vega %.4f  rho %.4f\n",
+			g.Delta, g.Gamma, g.Theta, g.Vega, g.Rho)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amop-price:", err)
+	os.Exit(1)
+}

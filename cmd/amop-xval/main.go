@@ -1,0 +1,92 @@
+// Command amop-xval cross-validates the fast FFT-based pricers against the
+// direct Theta(T^2) sweeps on randomized parameters, reporting the worst
+// relative disagreement per model. Exit status is non-zero if any pair
+// disagrees beyond the tolerance — useful as a standalone soak test.
+//
+// Usage:
+//
+//	amop-xval -trials 200 -maxT 2000 -seed 7 -tol 1e-9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"github.com/nlstencil/amop/internal/bopm"
+	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/option"
+	"github.com/nlstencil/amop/internal/topm"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 100, "random parameter sets per model")
+		maxT   = flag.Int("maxT", 1500, "largest random step count")
+		seed   = flag.Int64("seed", 1, "PRNG seed")
+		tol    = flag.Float64("tol", 1e-9, "failure threshold on relative error")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	randParams := func() option.Params {
+		return option.Params{
+			S: 50 + 150*rng.Float64(),
+			K: 50 + 150*rng.Float64(),
+			R: 0.001 + 0.1*rng.Float64(),
+			V: 0.08 + 0.5*rng.Float64(),
+			Y: 0.12 * rng.Float64(),
+			E: 0.1 + 2.4*rng.Float64(),
+		}
+	}
+	randT := func() int { return 16 + rng.Intn(*maxT-15) }
+
+	worst := map[string]float64{}
+	note := map[string]string{}
+	record := func(model string, prm option.Params, T int, fast, naive float64) {
+		rel := math.Abs(fast-naive) / (1 + math.Max(math.Abs(fast), math.Abs(naive)))
+		if rel > worst[model] {
+			worst[model] = rel
+			note[model] = fmt.Sprintf("T=%d params=%+v fast=%.10g naive=%.10g", T, prm, fast, naive)
+		}
+	}
+
+	for i := 0; i < *trials; i++ {
+		prm, T := randParams(), randT()
+		if m, err := bopm.New(prm, T); err == nil {
+			if fast, err := m.PriceFast(); err == nil {
+				record("bopm", prm, T, fast, m.PriceNaive(option.Call))
+			}
+		}
+		prm, T = randParams(), randT()
+		if m, err := topm.New(prm, T); err == nil {
+			if fast, err := m.PriceFast(); err == nil {
+				record("topm", prm, T, fast, m.PriceNaive(option.Call))
+			}
+		}
+		prm, T = randParams(), randT()
+		if m, err := bsm.New(prm, T, 0); err == nil {
+			if fast, err := m.PriceFast(); err == nil {
+				record("bsm", prm, T, fast, m.PriceNaive())
+			}
+		}
+	}
+
+	failed := false
+	for _, model := range []string{"bopm", "topm", "bsm"} {
+		status := "ok"
+		if worst[model] > *tol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-5s worst relative error %.3e  [%s]\n", model, worst[model], status)
+		if status == "FAIL" {
+			fmt.Printf("      at %s\n", note[model])
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

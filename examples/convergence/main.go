@@ -1,0 +1,62 @@
+// Convergence studies how the three discretizations approach their
+// continuous limits as the step count grows, and how the fast algorithm's
+// running time scales along the way — the practical payoff of the paper: at
+// accuracy-driven step counts (10^5-10^6), only the O(T log^2 T) algorithm
+// is interactive.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"github.com/nlstencil/amop"
+)
+
+func main() {
+	o := amop.Option{Type: amop.Call, S: 127.62, K: 130, R: 0.00163, V: 0.2, Y: 0.0163, E: 1}
+	put := o
+	put.Type = amop.Put
+
+	bs, err := amop.BlackScholes(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("European call closed form: %.8f\n\n", bs)
+	fmt.Printf("%9s  %12s  %12s  %12s  %12s  %10s\n",
+		"T", "BOPM-eur-err", "TOPM-eur-err", "AM-call", "AM-put(BSM)", "fast time")
+
+	var prevCall, prevPut float64
+	for _, T := range []int{512, 2048, 8192, 32768, 131072} {
+		eb, err := amop.Price(o, amop.Binomial, amop.Config{Steps: T, European: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		et, err := amop.Price(o, amop.Trinomial, amop.Config{Steps: T, European: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		ac, err := amop.PriceAmerican(o, T)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ap, err := amop.PriceAmerican(put, T)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%9d  %12.2e  %12.2e  %12.8f  %12.8f  %10v\n",
+			T, math.Abs(eb-bs), math.Abs(et-bs), ac, ap, elapsed.Round(time.Microsecond))
+		if prevCall != 0 {
+			fmt.Printf("%9s  (American price moved %.2e / %.2e from previous T)\n",
+				"", math.Abs(ac-prevCall), math.Abs(ap-prevPut))
+		}
+		prevCall, prevPut = ac, ap
+	}
+
+	fmt.Println("\nThe trinomial error at T is comparable to the binomial error at 2T")
+	fmt.Println("(Langat et al., cited in Section 3), and both fall like O(1/T);")
+	fmt.Println("American prices self-converge at the same rate.")
+}

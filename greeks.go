@@ -1,0 +1,151 @@
+package amop
+
+import (
+	"fmt"
+	"math"
+)
+
+// Greeks holds the standard first- and second-order price sensitivities.
+type Greeks struct {
+	Delta float64 // dV/dS
+	Gamma float64 // d^2V/dS^2
+	Theta float64 // dV/dt (per year; negative for long options, usually)
+	Vega  float64 // dV/dVol (per 1.0 of volatility)
+	Rho   float64 // dV/dR (per 1.0 of rate)
+}
+
+// GreeksAmerican computes the Greeks of an American option by central finite
+// differences around the fast pricer. Bump sizes are relative and chosen
+// large enough to dominate the O(1/T) lattice discretization noise at
+// moderate step counts; results carry the usual bump-and-reprice error.
+func GreeksAmerican(o Option, steps int) (Greeks, error) {
+	price := func(o Option) (float64, error) { return PriceAmerican(o, steps) }
+	return greeks(o, price)
+}
+
+// GreeksEuropean computes the Greeks of a European option the same way but
+// around the lattice European pricer.
+func GreeksEuropean(o Option, steps int) (Greeks, error) {
+	price := func(o Option) (float64, error) { return PriceEuropean(o, steps) }
+	return greeks(o, price)
+}
+
+func greeks(o Option, price func(Option) (float64, error)) (Greeks, error) {
+	var g Greeks
+
+	base, err := price(o)
+	if err != nil {
+		return g, fmt.Errorf("amop: greeks base price: %w", err)
+	}
+
+	// Delta and gamma share one pair of spot bumps.
+	dS := 0.01 * o.S
+	up, dn := o, o
+	up.S += dS
+	dn.S -= dS
+	vUp, err := price(up)
+	if err != nil {
+		return g, err
+	}
+	vDn, err := price(dn)
+	if err != nil {
+		return g, err
+	}
+	g.Delta = (vUp - vDn) / (2 * dS)
+	g.Gamma = (vUp - 2*base + vDn) / (dS * dS)
+
+	// Vega.
+	dV := 0.01
+	up, dn = o, o
+	up.V += dV
+	dn.V = math.Max(dn.V-dV, 1e-4)
+	vUp, err = price(up)
+	if err != nil {
+		return g, err
+	}
+	vDn, err = price(dn)
+	if err != nil {
+		return g, err
+	}
+	g.Vega = (vUp - vDn) / (up.V - dn.V)
+
+	// Rho. Keep the rate non-negative (the models require R >= 0).
+	dR := 5e-4
+	up, dn = o, o
+	up.R += dR
+	dn.R = math.Max(dn.R-dR, 0)
+	vUp, err = price(up)
+	if err != nil {
+		return g, err
+	}
+	vDn, err = price(dn)
+	if err != nil {
+		return g, err
+	}
+	g.Rho = (vUp - vDn) / (up.R - dn.R)
+
+	// Theta: value decay as calendar time passes (expiry shrinks).
+	dE := math.Min(0.01, o.E/4)
+	up, dn = o, o
+	up.E += dE
+	dn.E -= dE
+	vUp, err = price(up)
+	if err != nil {
+		return g, err
+	}
+	vDn, err = price(dn)
+	if err != nil {
+		return g, err
+	}
+	g.Theta = -(vUp - vDn) / (2 * dE)
+
+	return g, nil
+}
+
+// ImpliedVol solves for the volatility at which the American option's fast
+// model price equals target, by bisection over [lo, hi] = [0.0001, 5].
+// American prices are strictly increasing in volatility, so the root is
+// unique when it exists; an error is returned when target lies outside the
+// attainable range.
+func ImpliedVol(o Option, steps int, target float64) (float64, error) {
+	if math.IsNaN(target) || target <= 0 {
+		return 0, fmt.Errorf("amop: implied vol target %v must be positive", target)
+	}
+	lo, hi := 1e-4, 5.0
+	priceAt := func(v float64) (float64, error) {
+		oo := o
+		oo.V = v
+		return PriceAmerican(oo, steps)
+	}
+	// The binomial tree degenerates (q outside (0,1)) when one volatility
+	// step cannot cover the drift; raise the lower bracket until the model
+	// is well-posed there.
+	pLo, err := priceAt(lo)
+	for err != nil && lo < 0.2 {
+		lo *= 2
+		pLo, err = priceAt(lo)
+	}
+	if err != nil {
+		return 0, err
+	}
+	pHi, err := priceAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if target < pLo || target > pHi {
+		return 0, fmt.Errorf("amop: target price %v outside attainable range [%v, %v]", target, pLo, pHi)
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-8; iter++ {
+		mid := (lo + hi) / 2
+		p, err := priceAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if p < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,220 @@
+// Package bopm implements American and European option pricing under the
+// Cox-Ross-Rubinstein binomial option pricing model (Section 2 of the
+// paper), with the full ladder of algorithms the paper benchmarks:
+//
+//   - PriceFast: the paper's O(T log^2 T) FFT-based nonlinear-stencil
+//     algorithm ("fft-bopm"), American calls;
+//   - PriceNaive / PriceNaiveParallel: the standard nested loop of Figure 1
+//     ("ql-bopm" is the parallel variant);
+//   - PriceTiled: cache-aware split tiling ("zb-bopm");
+//   - PriceRecursive: cache-oblivious recursive tiling (Table 2);
+//   - PriceEuropean / PriceEuropeanNaive: European variants (the linear
+//     special case, priced with a single multi-step FFT evolution).
+//
+// Grid convention follows the paper: the tree of T steps is embedded in a
+// (T+1) x (T+1) grid with leaves (expiry) in the top row; we index rows by
+// depth = T - i so depth 0 is expiry and depth T is the valuation apex. The
+// asset price at (depth, col) is S * u^(2*col - T + depth).
+package bopm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop/internal/fbstencil"
+	"github.com/nlstencil/amop/internal/linstencil"
+	"github.com/nlstencil/amop/internal/option"
+	"github.com/nlstencil/amop/internal/sweep"
+)
+
+// MaxSteps bounds T so that the extreme leaf prices S*u^(+-T) stay finite in
+// float64 for any reasonable volatility (V*sqrt(E*T) < 700).
+const MaxSteps = 1 << 22
+
+// Model holds the precomputed per-step quantities of a binomial tree.
+type Model struct {
+	Prm   option.Params
+	T     int
+	Dt    float64 // time per step
+	U     float64 // up factor e^(V*sqrt(dt))
+	Q     float64 // risk-neutral up-move probability
+	Disc  float64 // per-step discount e^(-R*dt)
+	S0    float64 // weight on the down child (column j):   Disc*(1-Q)
+	S1    float64 // weight on the up child (column j+1):   Disc*Q
+	logU  float64
+	baseC int // fbstencil recursion cutoff override (0 = default)
+}
+
+// New validates the parameters and precomputes the tree quantities.
+func New(p option.Params, steps int) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("bopm: steps = %d must be >= 1", steps)
+	}
+	if steps > MaxSteps {
+		return nil, fmt.Errorf("bopm: steps = %d exceeds the supported maximum %d", steps, MaxSteps)
+	}
+	dt := p.E / float64(steps)
+	u := math.Exp(p.V * math.Sqrt(dt))
+	d := 1 / u
+	q := (math.Exp((p.R-p.Y)*dt) - d) / (u - d)
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("bopm: risk-neutral probability %v outside (0,1); the drift (R-Y)*dt=%v overwhelms one volatility step — increase steps or volatility", q, (p.R-p.Y)*dt)
+	}
+	disc := math.Exp(-p.R * dt)
+	return &Model{
+		Prm: p, T: steps, Dt: dt, U: u, Q: q, Disc: disc,
+		S0: disc * (1 - q), S1: disc * q, logU: math.Log(u),
+	}, nil
+}
+
+// SetBaseCase overrides the fast solver's recursion cutoff (for ablation
+// experiments). Zero restores the default.
+func (m *Model) SetBaseCase(h int) { m.baseC = h }
+
+// Asset returns the underlying price at cell (depth, col).
+func (m *Model) Asset(depth, col int) float64 {
+	return m.Prm.S * math.Exp(float64(2*col-m.T+depth)*m.logU)
+}
+
+// Exercise returns the (unclipped) immediate-exercise value at (depth, col).
+func (m *Model) Exercise(kind option.Kind, depth, col int) float64 {
+	if kind == option.Call {
+		return m.Asset(depth, col) - m.Prm.K
+	}
+	return m.Prm.K - m.Asset(depth, col)
+}
+
+// Stencil returns the one-step linear continuation stencil
+// v(d+1,j) = S0*v(d,j) + S1*v(d,j+1).
+func (m *Model) Stencil() linstencil.Stencil {
+	return linstencil.Stencil{MinOff: 0, W: []float64{m.S0, m.S1}}
+}
+
+// leafBoundary returns the largest leaf column whose call exercise value is
+// <= 0 (the initial red/green boundary), or -1 if none.
+func (m *Model) leafBoundary() int {
+	guess := int(math.Floor((float64(m.T) + math.Log(m.Prm.K/m.Prm.S)/m.logU) / 2))
+	if guess > m.T {
+		guess = m.T
+	}
+	if guess < -1 {
+		guess = -1
+	}
+	for guess < m.T && m.Exercise(option.Call, 0, guess+1) <= 0 {
+		guess++
+	}
+	for guess >= 0 && m.Exercise(option.Call, 0, guess) > 0 {
+		guess--
+	}
+	return guess
+}
+
+// PriceFast prices the American call with the paper's FFT-based
+// nonlinear-stencil algorithm: O(T log^2 T) work, O(T) span.
+func (m *Model) PriceFast() (float64, error) {
+	return m.PriceFastStats(nil)
+}
+
+// PriceFastStats is PriceFast with work-counter collection.
+func (m *Model) PriceFastStats(st *fbstencil.Stats) (float64, error) {
+	prob := &fbstencil.GreenRight{
+		Stencil:  m.Stencil(),
+		T:        m.T,
+		Hi0:      m.T,
+		Init:     func(col int) float64 { return math.Max(0, m.Exercise(option.Call, 0, col)) },
+		Green:    func(depth, col int) float64 { return m.Exercise(option.Call, depth, col) },
+		Bnd0:     m.leafBoundary(),
+		BaseCase: m.baseC,
+	}
+	v, _, err := fbstencil.SolveGreenRight(prob, st)
+	return v, err
+}
+
+// sweepProblem builds the baseline-sweep description for the given option
+// kind; american=false drops the exercise comparison (European).
+func (m *Model) sweepProblem(kind option.Kind, american bool) *sweep.Problem {
+	p := &sweep.Problem{
+		W:    []float64{m.S0, m.S1},
+		T:    m.T,
+		Hi0:  m.T,
+		Leaf: func(col int) float64 { return m.Prm.Payoff(kind, m.Asset(0, col)) },
+	}
+	if american {
+		u2 := m.U * m.U
+		K := m.Prm.K
+		if kind == option.Call {
+			p.FillExercise = func(depth, lo, hi int, out []float64) {
+				a := m.Asset(depth, lo)
+				for i := range out {
+					out[i] = a - K
+					a *= u2
+				}
+			}
+		} else {
+			p.FillExercise = func(depth, lo, hi int, out []float64) {
+				a := m.Asset(depth, lo)
+				for i := range out {
+					out[i] = K - a
+					a *= u2
+				}
+			}
+		}
+	}
+	return p
+}
+
+// PriceNaive is the serial nested loop of Figure 1 (American).
+func (m *Model) PriceNaive(kind option.Kind) float64 {
+	return sweep.Naive(m.sweepProblem(kind, true))
+}
+
+// PriceNaiveParallel is the row-parallel nested loop — the structure of the
+// paper's ql-bopm baseline.
+func (m *Model) PriceNaiveParallel(kind option.Kind) float64 {
+	return sweep.NaiveParallel(m.sweepProblem(kind, true))
+}
+
+// PriceTiled is the cache-aware split-tiled sweep (zb-bopm analogue).
+// tileW/tileH <= 0 select L1-sized defaults.
+func (m *Model) PriceTiled(kind option.Kind, tileW, tileH int) float64 {
+	return sweep.Tiled(m.sweepProblem(kind, true), tileW, tileH)
+}
+
+// PriceRecursive is the cache-oblivious recursive-tiling sweep (Table 2).
+func (m *Model) PriceRecursive(kind option.Kind) float64 {
+	return sweep.Recursive(m.sweepProblem(kind, true))
+}
+
+// PriceEuropean prices the European option with a single T-step FFT
+// evolution of the payoff row — the linear special case, O(T log T).
+//
+// The transform is applied to the put payoff, which is bounded by K; calls
+// are recovered through put-call parity, which is exact on the lattice
+// because the per-step weights satisfy the discrete martingale identity.
+// Transforming the call payoff directly would lose all precision at large T:
+// FFT error scales with the largest row entry, and deep-ITM call leaves grow
+// like S*u^T.
+func (m *Model) PriceEuropean(kind option.Kind) float64 {
+	row := make([]float64, m.T+1)
+	for j := range row {
+		row[j] = m.Prm.Payoff(option.Put, m.Asset(0, j))
+	}
+	out, _ := linstencil.EvolveCone(row, m.Stencil(), m.T)
+	put := out[0]
+	if kind == option.Put {
+		return put
+	}
+	return put + m.Prm.S*math.Exp(-m.Prm.Y*m.Prm.E) - m.Prm.K*math.Exp(-m.Prm.R*m.Prm.E)
+}
+
+// PriceEuropeanNaive is the serial nested loop without the exercise max.
+func (m *Model) PriceEuropeanNaive(kind option.Kind) float64 {
+	return sweep.Naive(m.sweepProblem(kind, false))
+}
+
+// LeafBoundary exposes the initial red/green boundary for the traced kernels
+// and diagnostics.
+func (m *Model) LeafBoundary() int { return m.leafBoundary() }

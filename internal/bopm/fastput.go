@@ -1,0 +1,67 @@
+package bopm
+
+import (
+	"math"
+
+	"github.com/nlstencil/amop/internal/fbstencil"
+	"github.com/nlstencil/amop/internal/option"
+)
+
+// This file implements the experimental fast American PUT under the
+// binomial model — an extension beyond the paper, which proves the
+// red/green boundary structure for lattice calls only. For puts the
+// exercise (green) region sits on the low-price side, i.e. the LEFT of the
+// grid, and the one-sided stencil's dependencies point away from it; the
+// corresponding solver is fbstencil.SolveGreenLeftOneSided. The structural
+// assumptions are verified empirically (see ValidatePutStructure and the
+// package tests), not proven.
+
+// putProblem builds the green-left instance for the American put.
+func (m *Model) putProblem() *fbstencil.GreenLeftOneSided {
+	green := func(depth, col int) float64 { return m.Exercise(option.Put, depth, col) }
+	// Largest leaf column with strictly positive put payoff.
+	guess := int(math.Ceil((float64(m.T) + math.Log(m.Prm.K/m.Prm.S)/m.logU) / 2))
+	if guess > m.T {
+		guess = m.T
+	}
+	if guess < -1 {
+		guess = -1
+	}
+	for guess < m.T && green(0, guess+1) > 0 {
+		guess++
+	}
+	for guess >= 0 && green(0, guess) <= 0 {
+		guess--
+	}
+	return &fbstencil.GreenLeftOneSided{
+		Stencil:  m.Stencil(),
+		T:        m.T,
+		Hi0:      m.T,
+		Init:     func(col int) float64 { return math.Max(0, green(0, col)) },
+		Green:    green,
+		Bnd0:     guess,
+		BaseCase: m.baseC,
+	}
+}
+
+// PriceFastPut prices the American put with the FFT-based green-left
+// solver: O(T log^2 T) work. Experimental — the put boundary structure is
+// validated empirically, not proven; cross-check against PriceNaive(Put) for
+// unusual parameter regimes (ValidatePutStructure automates that check).
+func (m *Model) PriceFastPut() (float64, error) {
+	return m.PriceFastPutStats(nil)
+}
+
+// PriceFastPutStats is PriceFastPut with work-counter collection.
+func (m *Model) PriceFastPutStats(st *fbstencil.Stats) (float64, error) {
+	v, _, err := fbstencil.SolveGreenLeftOneSided(m.putProblem(), st)
+	return v, err
+}
+
+// ValidatePutStructure runs the O(T^2) structural validator for the put's
+// free boundary on this instance (contiguity, monotonicity, unit drops) and
+// returns the first violation, if any.
+func (m *Model) ValidatePutStructure() error {
+	_, err := fbstencil.GreenLeftOneSidedBoundaryTrace(m.putProblem())
+	return err
+}

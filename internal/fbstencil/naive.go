@@ -1,0 +1,186 @@
+package fbstencil
+
+import "fmt"
+
+// This file contains the direct O(T * width) reference solvers. They compute
+// every cell of the space-time cone with the plain max-update and make no
+// structural assumptions (no boundary contiguity or monotonicity), so they
+// serve as the correctness oracle for the fast solvers, and their
+// boundary-trace variants empirically verify the paper's structural lemmas
+// (Cor. 2.7, Cor. A.6, Thm 4.3) on arbitrary instances.
+
+// SolveGreenRightNaive solves a GreenRight problem by the direct sweep and
+// returns the apex value.
+func SolveGreenRightNaive(p *GreenRight) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	row := make([]float64, p.Hi0+1)
+	for j := range row {
+		row[j] = p.Init(j)
+	}
+	r := p.Stencil.Span()
+	w := p.Stencil.W
+	for d := 1; d <= p.T; d++ {
+		hi := p.Hi0 - d*r
+		for j := 0; j <= hi; j++ {
+			var lin float64
+			for i, wi := range w {
+				lin += wi * row[j+i]
+			}
+			if g := p.Green(d, j); g > lin {
+				row[j] = g
+			} else {
+				row[j] = lin
+			}
+		}
+		row = row[:hi+1]
+	}
+	return row[0], nil
+}
+
+// GreenRightBoundaryTrace solves the problem naively while recording, for
+// every depth, the largest red column (-1 if none). It returns an error if
+// any row violates red-prefix contiguity or if the boundary ever moves right
+// or drops by more than one — i.e., it checks Corollary 2.7 / A.6 on the
+// instance. The no-right-move check deliberately skips the transition off
+// the initial row: there "red" means 0 >= exercise, and the red region can
+// legitimately widen once at depth 1 (see SolveGreenRight).
+func GreenRightBoundaryTrace(p *GreenRight) ([]int, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	row := make([]float64, p.Hi0+1)
+	red := make([]bool, p.Hi0+1)
+	for j := range row {
+		row[j] = p.Init(j)
+		red[j] = p.Init(j) > p.Green(0, j) || j <= p.Bnd0
+	}
+	r := p.Stencil.Span()
+	w := p.Stencil.W
+	trace := make([]int, p.T+1)
+	trace[0] = p.Bnd0
+	for d := 1; d <= p.T; d++ {
+		hi := p.Hi0 - d*r
+		bnd := -1
+		for j := 0; j <= hi; j++ {
+			var lin float64
+			for i, wi := range w {
+				lin += wi * row[j+i]
+			}
+			g := p.Green(d, j)
+			if lin >= g {
+				row[j] = lin
+				red[j] = true
+				bnd = j
+			} else {
+				row[j] = g
+				red[j] = false
+			}
+		}
+		for j := 0; j <= bnd; j++ {
+			if !red[j] {
+				return nil, fmt.Errorf("fbstencil: red region not contiguous at depth %d: col %d green, col %d red", d, j, bnd)
+			}
+		}
+		prev := trace[d-1]
+		if prev > hi+r {
+			prev = hi + r // previous row may simply have been wider
+		}
+		if bnd > prev && d > 1 {
+			return nil, fmt.Errorf("fbstencil: boundary moved right at depth %d: %d -> %d", d, prev, bnd)
+		}
+		if prev >= 0 && bnd < prev-1 && bnd < min(prev, hi)-1 {
+			return nil, fmt.Errorf("fbstencil: boundary dropped by more than one at depth %d: %d -> %d", d, prev, bnd)
+		}
+		trace[d] = bnd
+		row = row[:hi+1]
+	}
+	return trace, nil
+}
+
+// SolveGreenLeftNaive solves a GreenLeft problem by the direct sweep and
+// returns the apex value.
+func SolveGreenLeftNaive(p *GreenLeft) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	width := p.Hi0 - p.Lo0 + 1
+	row := make([]float64, width)
+	for j := range row {
+		row[j] = p.Init(p.Lo0 + j)
+	}
+	w := p.Stencil.W
+	for d := 1; d <= p.T; d++ {
+		lo, hi := p.Lo0+d, p.Hi0-d
+		next := make([]float64, hi-lo+1)
+		for j := lo; j <= hi; j++ {
+			i := j - (p.Lo0 + d - 1) // index in previous row
+			lin := w[0]*row[i-1] + w[1]*row[i] + w[2]*row[i+1]
+			if g := p.Green(d, j); g > lin {
+				next[j-lo] = g
+			} else {
+				next[j-lo] = lin
+			}
+		}
+		row = next
+	}
+	return row[0], nil
+}
+
+// GreenLeftBoundaryTrace records the largest green column per depth (within
+// the cone; Lo0+d-1 marks "no green cell in the cone") and checks Theorem
+// 4.3 empirically: green-prefix contiguity and 0 <= k_n - k_{n+1} <= 1.
+func GreenLeftBoundaryTrace(p *GreenLeft) ([]int, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	width := p.Hi0 - p.Lo0 + 1
+	row := make([]float64, width)
+	for j := range row {
+		row[j] = p.Init(p.Lo0 + j)
+	}
+	w := p.Stencil.W
+	trace := make([]int, p.T+1)
+	trace[0] = p.Bnd0
+	for d := 1; d <= p.T; d++ {
+		lo, hi := p.Lo0+d, p.Hi0-d
+		next := make([]float64, hi-lo+1)
+		green := make([]bool, hi-lo+1)
+		bnd := lo - 1
+		lastGreen := lo - 1
+		for j := lo; j <= hi; j++ {
+			i := j - (p.Lo0 + d - 1)
+			lin := w[0]*row[i-1] + w[1]*row[i] + w[2]*row[i+1]
+			if g := p.Green(d, j); g > lin {
+				next[j-lo] = g
+				green[j-lo] = true
+				lastGreen = j
+			} else {
+				next[j-lo] = lin
+			}
+		}
+		bnd = lastGreen
+		for j := lo; j <= bnd; j++ {
+			if !green[j-lo] {
+				return nil, fmt.Errorf("fbstencil: green region not contiguous at depth %d: col %d red, col %d green", d, j, bnd)
+			}
+		}
+		prev := trace[d-1]
+		if prev < lo-1 {
+			prev = lo - 1
+		}
+		if bnd > prev {
+			return nil, fmt.Errorf("fbstencil: boundary moved right at depth %d: %d -> %d", d, prev, bnd)
+		}
+		// The drop bound only holds between interior rows (see
+		// SolveGreenLeft): off the payoff row the boundary can fall to
+		// s ~ ln(R/Y) in one step when Y > R.
+		if d > 1 && bnd < prev-1 && prev-1 >= lo-1 {
+			return nil, fmt.Errorf("fbstencil: boundary dropped by more than one at depth %d: %d -> %d", d, prev, bnd)
+		}
+		trace[d] = bnd
+		row = next
+	}
+	return trace, nil
+}

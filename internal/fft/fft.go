@@ -1,0 +1,192 @@
+// Package fft implements the fast Fourier transform substrate used by the
+// linear-stencil machinery (Ahmad et al., SPAA 2021 — reference [1] of the
+// paper). It is a self-contained, allocation-conscious, parallel radix-2
+// implementation over complex128:
+//
+//   - iterative Cooley-Tukey decimation-in-time with a precomputed twiddle
+//     table and bit-reversal permutation;
+//   - stage-level parallelism via internal/par for large transforms;
+//   - exact complex integer powers by binary exponentiation (used to raise a
+//     stencil's symbol to the k-th power with ~log2(k)-ulp error growth);
+//   - a process-wide plan cache, since the option-pricing recursion requests
+//     many transforms of identical sizes.
+//
+// Only power-of-two sizes are supported; callers pad with NextPow2.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"github.com/nlstencil/amop/internal/par"
+)
+
+// parThreshold is the transform size at or above which stages run in
+// parallel. Below it the fork-join overhead exceeds the butterfly work.
+const parThreshold = 1 << 13
+
+// Plan holds the precomputed tables for transforms of one fixed size.
+// A Plan is safe for concurrent use: all fields are read-only after creation.
+type Plan struct {
+	n    int
+	rev  []int32      // bit-reversal permutation
+	tw   []complex128 // tw[k] = exp(-2*pi*i*k/n), k in [0, n/2)
+	half int
+}
+
+// NewPlan creates a plan for transforms of size n. n must be a power of two
+// and at least 1.
+func NewPlan(n int) *Plan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: size %d is not a positive power of two", n))
+	}
+	p := &Plan{n: n, half: n / 2}
+	p.rev = make([]int32, n)
+	shift := bits.UintSize - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse(uint(i)) >> shift)
+	}
+	p.tw = make([]complex128, p.half)
+	for k := 0; k < p.half; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.tw[k] = complex(c, s)
+	}
+	return p
+}
+
+// Size returns the transform size of the plan.
+func (p *Plan) Size() int { return p.n }
+
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns a cached plan of size n, creating it on first use.
+func PlanFor(n int) *Plan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan)
+	}
+	p := NewPlan(n)
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan)
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place forward DFT of a:
+// A[f] = sum_j a[j] * exp(-2*pi*i*j*f/n).
+func (p *Plan) Forward(a []complex128) { p.transform(a, false) }
+
+// Inverse computes the in-place inverse DFT of a, including the 1/n scaling,
+// so that Inverse(Forward(a)) == a up to rounding.
+func (p *Plan) Inverse(a []complex128) {
+	p.transform(a, true)
+	inv := complex(1/float64(p.n), 0)
+	if p.n >= parThreshold {
+		par.For(p.n, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a[i] *= inv
+			}
+		})
+		return
+	}
+	for i := range a {
+		a[i] *= inv
+	}
+}
+
+func (p *Plan) transform(a []complex128, inverse bool) {
+	n := p.n
+	if len(a) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan size %d", len(a), n))
+	}
+	if n == 1 {
+		return
+	}
+	p.permute(a)
+	parallel := n >= parThreshold && par.Workers() > 1
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		blocks := n / size
+		switch {
+		case !parallel:
+			p.stageSerial(a, 0, blocks, size, half, step, inverse)
+		case blocks >= 2*par.Workers():
+			par.For(blocks, 1, func(lo, hi int) {
+				p.stageSerial(a, lo, hi, size, half, step, inverse)
+			})
+		default:
+			// Few large blocks: split each block's butterfly range instead.
+			for b := 0; b < blocks; b++ {
+				base := b * size
+				par.For(half, 2048, func(lo, hi int) {
+					p.butterflies(a, base, lo, hi, half, step, inverse)
+				})
+			}
+		}
+	}
+}
+
+// permute applies the bit-reversal permutation in place.
+func (p *Plan) permute(a []complex128) {
+	for i, r := range p.rev {
+		if int32(i) < r {
+			a[i], a[r] = a[r], a[i]
+		}
+	}
+}
+
+func (p *Plan) stageSerial(a []complex128, blockLo, blockHi, size, half, step int, inverse bool) {
+	for b := blockLo; b < blockHi; b++ {
+		p.butterflies(a, b*size, 0, half, half, step, inverse)
+	}
+}
+
+// butterflies applies butterflies j in [jLo, jHi) within the block starting
+// at base. half and step describe the current stage geometry.
+func (p *Plan) butterflies(a []complex128, base, jLo, jHi, half, step int, inverse bool) {
+	if inverse {
+		for j := jLo; j < jHi; j++ {
+			w := p.tw[j*step]
+			w = complex(real(w), -imag(w))
+			lo, hi := base+j, base+j+half
+			t := a[hi] * w
+			a[hi] = a[lo] - t
+			a[lo] += t
+		}
+		return
+	}
+	for j := jLo; j < jHi; j++ {
+		w := p.tw[j*step]
+		lo, hi := base+j, base+j+half
+		t := a[hi] * w
+		a[hi] = a[lo] - t
+		a[lo] += t
+	}
+}
+
+// Pow returns z raised to the non-negative integer power k by binary
+// exponentiation. Unlike polar-form powering (r^k * e^{i*k*theta}), the
+// relative error grows only like log2(k) ulps, which matters when k is the
+// number of stencil time steps (up to millions).
+func Pow(z complex128, k int) complex128 {
+	if k < 0 {
+		panic("fft: Pow requires k >= 0")
+	}
+	result := complex(1, 0)
+	for k > 0 {
+		if k&1 == 1 {
+			result *= z
+		}
+		z *= z
+		k >>= 1
+	}
+	return result
+}

@@ -1,0 +1,245 @@
+// Package linstencil implements fast evolution of linear 1D stencils using
+// the FFT, the machinery of Ahmad et al. (SPAA 2021) that the option-pricing
+// paper invokes as its reference [1].
+//
+// A linear stencil with weight w[o] on offset o updates a row as
+//
+//	next[j] = sum_{o=MinOff..MaxOff} w[o] * cur[j+o].
+//
+// Applying it k times is cross-correlation with the coefficients of the k-th
+// power of the stencil polynomial P(x) = sum_o w[o] x^(o-MinOff). Instead of
+// materializing those coefficients, the symbol P is evaluated at the N-th
+// roots of unity and raised to the k-th power pointwise (binary
+// exponentiation), so k steps cost one forward FFT, O(N log k) scalar work,
+// and one inverse FFT — O(N (log N + log k)) total instead of O(N*k).
+//
+// Two variants are provided:
+//
+//   - EvolveCone: aperiodic evolution on a finite segment. Only positions
+//     whose k-step dependency cone lies inside the input are returned.
+//   - EvolvePeriodic: evolution on a power-of-two ring.
+package linstencil
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop/internal/fft"
+	"github.com/nlstencil/amop/internal/par"
+)
+
+// Stencil is a linear 1D stencil. W[i] is the weight of offset MinOff+i; the
+// last weight corresponds to MaxOff = MinOff + len(W) - 1.
+type Stencil struct {
+	MinOff int
+	W      []float64
+}
+
+// MaxOff returns the largest offset of the stencil.
+func (s Stencil) MaxOff() int { return s.MinOff + len(s.W) - 1 }
+
+// Span returns MaxOff - MinOff, the degree of the stencil polynomial.
+func (s Stencil) Span() int { return len(s.W) - 1 }
+
+// Validate reports whether the stencil is well formed.
+func (s Stencil) Validate() error {
+	if len(s.W) == 0 {
+		return fmt.Errorf("linstencil: stencil has no weights")
+	}
+	for _, w := range s.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("linstencil: stencil weight %v is not finite", w)
+		}
+	}
+	return nil
+}
+
+// naiveCutoff is the work bound (cells touched, roughly n*k*span) below which
+// EvolveCone uses the direct loop instead of the FFT path. Both paths are
+// exact; this is purely a constant-factor optimization for tiny subproblems.
+const naiveCutoff = 1 << 11
+
+// EvolveCone advances cur (positions 0..n-1 at some time t) by k steps and
+// returns the exactly computable positions at time t+k: vals[i] is the value
+// at position firstPos+i, where firstPos = -k*MinOff and
+// len(vals) = n - k*Span(). It panics if no position is computable
+// (k*Span() >= n) or k < 0.
+func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) {
+	n := len(cur)
+	span := s.Span()
+	if k < 0 {
+		panic("linstencil: negative step count")
+	}
+	outN := n - k*span
+	if outN <= 0 {
+		panic(fmt.Sprintf("linstencil: cone empty: n=%d steps=%d span=%d", n, k, span))
+	}
+	firstPos = -k * s.MinOff
+	if k == 0 {
+		return append([]float64(nil), cur...), 0
+	}
+	if n*k*(span+1) <= naiveCutoff {
+		return evolveConeNaive(cur, s, k), firstPos
+	}
+
+	N := fft.NextPow2(n)
+	plan := fft.PlanFor(N)
+	a := make([]complex128, N)
+	for i, v := range cur {
+		a[i] = complex(v, 0)
+	}
+	plan.Forward(a)
+	mulSymbolPow(a, s, k, N)
+	plan.Inverse(a)
+
+	// a[t] now holds corr[t] = sum_m C[m] cur[t+m] for the kernel C of
+	// P(x)^k; position j at time t+k corresponds to t = j + k*MinOff, and
+	// valid t runs over [0, outN).
+	vals = make([]float64, outN)
+	for i := range vals {
+		vals[i] = real(a[i])
+	}
+	return vals, firstPos
+}
+
+// mulSymbolPow multiplies the spectrum a (size N) pointwise by the conjugate
+// of symbol(s)^k, which converts the product into a correlation with the
+// k-step kernel after the inverse transform.
+func mulSymbolPow(a []complex128, s Stencil, k, N int) {
+	par.For(N, 1024, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			sin, cos := math.Sincos(-2 * math.Pi * float64(f) / float64(N))
+			omega := complex(cos, sin)
+			// Evaluate P at omega^f using Horner on the shifted polynomial.
+			sym := complex(s.W[len(s.W)-1], 0)
+			for i := len(s.W) - 2; i >= 0; i-- {
+				sym = sym*omega + complex(s.W[i], 0)
+			}
+			kp := fft.Pow(sym, k)
+			a[f] *= complex(real(kp), -imag(kp))
+		}
+	})
+}
+
+// EvolvePeriodic advances cur, interpreted as a ring of power-of-two size, by
+// k steps: next[j] = sum_o w[o]*cur[(j+o) mod n]. The result has the same
+// length as the input.
+func EvolvePeriodic(cur []float64, s Stencil, k int) []float64 {
+	n := len(cur)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("linstencil: EvolvePeriodic requires power-of-two length, got %d", n))
+	}
+	if k < 0 {
+		panic("linstencil: negative step count")
+	}
+	plan := fft.PlanFor(n)
+	a := make([]complex128, n)
+	for i, v := range cur {
+		a[i] = complex(v, 0)
+	}
+	plan.Forward(a)
+	// On the ring the correlation index never leaves the grid, but the
+	// kernel offsets must be taken relative to the true offsets, not the
+	// shifted polynomial: position j pulls from j+MinOff+m. Fold the MinOff
+	// shift into the spectrum as a modulation.
+	par.For(n, 1024, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			sin, cos := math.Sincos(-2 * math.Pi * float64(f) / float64(n))
+			omega := complex(cos, sin)
+			sym := complex(s.W[len(s.W)-1], 0)
+			for i := len(s.W) - 2; i >= 0; i-- {
+				sym = sym*omega + complex(s.W[i], 0)
+			}
+			// Undo the polynomial shift: true symbol includes omega^MinOff.
+			shift := fft.Pow(omega, abs(s.MinOff))
+			if s.MinOff < 0 {
+				shift = complex(real(shift), -imag(shift))
+			}
+			sym *= shift
+			kp := fft.Pow(sym, k)
+			a[f] *= complex(real(kp), -imag(kp))
+		}
+	})
+	plan.Inverse(a)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(a[i])
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// evolveConeNaive is the direct O(n*k*span) evolution used both as the small
+// base case and as the testing reference (see EvolveConeNaive).
+func evolveConeNaive(cur []float64, s Stencil, k int) []float64 {
+	span := s.Span()
+	row := append([]float64(nil), cur...)
+	for step := 0; step < k; step++ {
+		m := len(row) - span
+		next := row[:m]
+		for j := 0; j < m; j++ {
+			var acc float64
+			for i, w := range s.W {
+				acc += w * row[j+i]
+			}
+			next[j] = acc
+		}
+		row = next
+	}
+	return row
+}
+
+// EvolveConeNaive exposes the direct evolution for tests and
+// cross-validation. Semantics match EvolveCone exactly.
+func EvolveConeNaive(cur []float64, s Stencil, k int) (vals []float64, firstPos int) {
+	n := len(cur)
+	if k < 0 || n-k*s.Span() <= 0 {
+		panic("linstencil: cone empty")
+	}
+	return evolveConeNaive(cur, s, k), -k * s.MinOff
+}
+
+// EvolvePeriodicNaive is the direct ring evolution used as a testing
+// reference for EvolvePeriodic. It accepts any positive length.
+func EvolvePeriodicNaive(cur []float64, s Stencil, k int) []float64 {
+	n := len(cur)
+	row := append([]float64(nil), cur...)
+	next := make([]float64, n)
+	for step := 0; step < k; step++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for i, w := range s.W {
+				idx := j + s.MinOff + i
+				idx = ((idx % n) + n) % n
+				acc += w * row[idx]
+			}
+			next[j] = acc
+		}
+		row, next = next, row
+	}
+	return row
+}
+
+// KernelCoefficients returns the k-step kernel C (coefficients of P(x)^k) by
+// repeated convolution. Exposed for tests and for callers that want to
+// inspect the effective multi-step stencil; O(k^2 * span^2) — not for the
+// hot path.
+func KernelCoefficients(s Stencil, k int) []float64 {
+	c := []float64{1}
+	for step := 0; step < k; step++ {
+		nc := make([]float64, len(c)+s.Span())
+		for i, ci := range c {
+			for j, w := range s.W {
+				nc[i+j] += ci * w
+			}
+		}
+		c = nc
+	}
+	return c
+}

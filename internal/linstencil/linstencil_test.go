@@ -1,0 +1,283 @@
+package linstencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randStencil(rng *rand.Rand) Stencil {
+	span := 1 + rng.Intn(2) // polynomial degree 1 or 2, like the paper's models
+	w := make([]float64, span+1)
+	sum := 0.0
+	for i := range w {
+		w[i] = rng.Float64()
+		sum += w[i]
+	}
+	// Normalize to sum just under 1, matching the sub-stochastic discounted
+	// weights of the pricing models; keeps k-step values O(1).
+	for i := range w {
+		w[i] *= 0.999 / sum
+	}
+	return Stencil{MinOff: -rng.Intn(2), W: w}
+}
+
+func randRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = rng.NormFloat64()
+	}
+	return row
+}
+
+func maxDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestEvolveConeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		s := randStencil(rng)
+		n := 8 + rng.Intn(300)
+		maxK := (n - 1) / s.Span()
+		if maxK == 0 {
+			continue
+		}
+		k := 1 + rng.Intn(maxK)
+		row := randRow(rng, n)
+
+		fast, fpFast := EvolveCone(row, s, k)
+		naive, fpNaive := EvolveConeNaive(row, s, k)
+		if fpFast != fpNaive {
+			t.Fatalf("firstPos mismatch: fast %d naive %d", fpFast, fpNaive)
+		}
+		if len(fast) != len(naive) {
+			t.Fatalf("length mismatch: fast %d naive %d", len(fast), len(naive))
+		}
+		if d := maxDiff(fast, naive); d > 1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d span=%d): max diff %g", trial, n, k, s.Span(), d)
+		}
+	}
+}
+
+// TestEvolveConeForcesFFTPath uses sizes above the naive cutoff so the FFT
+// path is definitely exercised.
+func TestEvolveConeForcesFFTPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Stencil{MinOff: 0, W: []float64{0.48, 0.51}}
+	n := 4096
+	k := 1024
+	row := randRow(rng, n)
+	fast, _ := EvolveCone(row, s, k)
+	naive, _ := EvolveConeNaive(row, s, k)
+	if d := maxDiff(fast, naive); d > 1e-9 {
+		t.Fatalf("max diff %g", d)
+	}
+}
+
+// TestEvolveConeCentered exercises the BSM-like centered stencil.
+func TestEvolveConeCentered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Stencil{MinOff: -1, W: []float64{0.3, 0.35, 0.3}}
+	n := 2048
+	k := 500
+	row := randRow(rng, n)
+	fast, fp := EvolveCone(row, s, k)
+	naive, fpn := EvolveConeNaive(row, s, k)
+	if fp != k || fpn != k {
+		t.Fatalf("firstPos = %d/%d, want %d", fp, fpn, k)
+	}
+	if d := maxDiff(fast, naive); d > 1e-9 {
+		t.Fatalf("max diff %g", d)
+	}
+}
+
+// TestEvolveComposition checks k1+k2 steps equals k2 steps applied to the
+// result of k1 steps (semigroup property).
+func TestEvolveComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Stencil{MinOff: 0, W: []float64{0.4, 0.55}}
+	n := 600
+	k1, k2 := 130, 170
+	row := randRow(rng, n)
+
+	oneShot, _ := EvolveCone(row, s, k1+k2)
+	mid, _ := EvolveCone(row, s, k1)
+	twoShot, _ := EvolveCone(mid, s, k2)
+	if d := maxDiff(oneShot, twoShot); d > 1e-9 {
+		t.Fatalf("composition violated: max diff %g", d)
+	}
+}
+
+// TestEvolveConeZeroSteps returns the input unchanged.
+func TestEvolveConeZeroSteps(t *testing.T) {
+	row := []float64{1, 2, 3}
+	out, fp := EvolveCone(row, Stencil{MinOff: 0, W: []float64{0.5, 0.5}}, 0)
+	if fp != 0 || maxDiff(out, row) != 0 {
+		t.Fatalf("zero-step evolve changed the row: %v", out)
+	}
+	out[0] = 99
+	if row[0] == 99 {
+		t.Fatal("zero-step evolve aliased the input")
+	}
+}
+
+// TestImpulseGivesBinomialKernel evolves a unit impulse and checks the result
+// against the analytically known binomial kernel of a 2-point stencil.
+func TestImpulseGivesBinomialKernel(t *testing.T) {
+	s0, s1 := 0.47, 0.52
+	s := Stencil{MinOff: 0, W: []float64{s0, s1}}
+	k := 40
+	n := 2 * k
+	row := make([]float64, n)
+	// Correlation form: out[j] = sum_m C[m] row[j+m]; an impulse at p makes
+	// out[j] = C[p-j].
+	p := n - 1
+	row[p] = 1
+	out, _ := EvolveCone(row, s, k)
+
+	binom := func(k, m int) float64 {
+		lg, _ := math.Lgamma(float64(k + 1))
+		lg1, _ := math.Lgamma(float64(m + 1))
+		lg2, _ := math.Lgamma(float64(k - m + 1))
+		return math.Exp(lg - lg1 - lg2)
+	}
+	for j := range out {
+		m := p - j
+		want := 0.0
+		if m >= 0 && m <= k {
+			want = binom(k, m) * math.Pow(s0, float64(k-m)) * math.Pow(s1, float64(m))
+		}
+		if math.Abs(out[j]-want) > 1e-10 {
+			t.Fatalf("kernel coefficient %d: got %g want %g", m, out[j], want)
+		}
+	}
+}
+
+func TestKernelCoefficients(t *testing.T) {
+	s := Stencil{MinOff: 0, W: []float64{0.5, 0.25}}
+	c := KernelCoefficients(s, 2)
+	want := []float64{0.25, 0.25, 0.0625}
+	if len(c) != len(want) {
+		t.Fatalf("kernel length %d, want %d", len(c), len(want))
+	}
+	if d := maxDiff(c, want); d > 1e-15 {
+		t.Fatalf("kernel %v, want %v", c, want)
+	}
+}
+
+func TestEvolvePeriodicMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 8, 64, 256} {
+		for trial := 0; trial < 10; trial++ {
+			s := randStencil(rng)
+			k := rng.Intn(3 * n)
+			row := randRow(rng, n)
+			fast := EvolvePeriodic(row, s, k)
+			naive := EvolvePeriodicNaive(row, s, k)
+			if d := maxDiff(fast, naive); d > 1e-8 {
+				t.Fatalf("n=%d k=%d minOff=%d: max diff %g", n, k, s.MinOff, d)
+			}
+		}
+	}
+}
+
+// TestEvolvePeriodicConservation: a stencil whose weights sum to 1 conserves
+// the row sum on a ring.
+func TestEvolvePeriodicConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := Stencil{MinOff: -1, W: []float64{0.25, 0.5, 0.25}}
+	row := randRow(rng, 128)
+	var before float64
+	for _, v := range row {
+		before += v
+	}
+	out := EvolvePeriodic(row, s, 200)
+	var after float64
+	for _, v := range out {
+		after += v
+	}
+	if math.Abs(before-after) > 1e-8*(1+math.Abs(before)) {
+		t.Fatalf("row sum not conserved: %g -> %g", before, after)
+	}
+}
+
+// TestEvolveLinearity (property): evolution is linear in the input row.
+func TestEvolveLinearity(t *testing.T) {
+	s := Stencil{MinOff: 0, W: []float64{0.45, 0.5}}
+	k := 16
+	prop := func(xa, ya [96]float64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.Abs(alpha) > 1e3 {
+			alpha = 1.5
+		}
+		x, y := xa[:], ya[:]
+		comb := make([]float64, len(x))
+		for i := range comb {
+			comb[i] = alpha*x[i] + y[i]
+		}
+		ec, _ := EvolveCone(comb, s, k)
+		ex, _ := EvolveCone(x, s, k)
+		ey, _ := EvolveCone(y, s, k)
+		for i := range ec {
+			want := alpha*ex[i] + ey[i]
+			if math.Abs(ec[i]-want) > 1e-7*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Stencil{MinOff: 0, W: []float64{0.5}}).Validate(); err != nil {
+		t.Errorf("valid stencil rejected: %v", err)
+	}
+	if err := (Stencil{}).Validate(); err == nil {
+		t.Error("empty stencil accepted")
+	}
+	if err := (Stencil{W: []float64{math.NaN()}}).Validate(); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if err := (Stencil{W: []float64{math.Inf(1)}}).Validate(); err == nil {
+		t.Error("Inf weight accepted")
+	}
+}
+
+func TestEvolveConePanics(t *testing.T) {
+	s := Stencil{MinOff: 0, W: []float64{0.5, 0.5}}
+	row := make([]float64, 4)
+	for name, fn := range map[string]func(){
+		"negative steps": func() { EvolveCone(row, s, -1) },
+		"empty cone":     func() { EvolveCone(row, s, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkEvolveCone64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s := Stencil{MinOff: 0, W: []float64{0.48, 0.51}}
+	n := 1 << 16
+	row := randRow(rng, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvolveCone(row, s, n/4)
+	}
+}

@@ -1,0 +1,107 @@
+package option
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	base := Default()
+	cases := map[string]func(*Params){
+		"zero spot":    func(p *Params) { p.S = 0 },
+		"neg spot":     func(p *Params) { p.S = -3 },
+		"zero strike":  func(p *Params) { p.K = 0 },
+		"zero vol":     func(p *Params) { p.V = 0 },
+		"neg vol":      func(p *Params) { p.V = -0.2 },
+		"zero expiry":  func(p *Params) { p.E = 0 },
+		"neg rate":     func(p *Params) { p.R = -0.01 },
+		"neg dividend": func(p *Params) { p.Y = -0.01 },
+		"nan spot":     func(p *Params) { p.S = math.NaN() },
+		"inf strike":   func(p *Params) { p.K = math.Inf(1) },
+	}
+	for name, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPayoff(t *testing.T) {
+	p := Params{S: 100, K: 90, R: 0.01, V: 0.2, Y: 0, E: 1}
+	if got := p.Payoff(Call, 100); got != 10 {
+		t.Errorf("call payoff = %v, want 10", got)
+	}
+	if got := p.Payoff(Call, 50); got != 0 {
+		t.Errorf("OTM call payoff = %v, want 0", got)
+	}
+	if got := p.Payoff(Put, 50); got != 40 {
+		t.Errorf("put payoff = %v, want 40", got)
+	}
+	if got := p.Payoff(Put, 100); got != 0 {
+		t.Errorf("OTM put payoff = %v, want 0", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Call.String() != "call" || Put.String() != "put" {
+		t.Error("Kind stringer broken")
+	}
+}
+
+// TestBlackScholesTextbookValue pins the classic Hull example: S=42, K=40,
+// R=10%, V=20%, E=0.5y gives a call near 4.76 and a put near 0.81.
+func TestBlackScholesTextbookValue(t *testing.T) {
+	p := Params{S: 42, K: 40, R: 0.1, V: 0.2, Y: 0, E: 0.5}
+	if c := BlackScholes(p, Call); math.Abs(c-4.7594) > 2e-4 {
+		t.Errorf("call = %v, want 4.7594", c)
+	}
+	if v := BlackScholes(p, Put); math.Abs(v-0.8086) > 2e-4 {
+		t.Errorf("put = %v, want 0.8086", v)
+	}
+}
+
+func TestBlackScholesParityAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 50; i++ {
+		p := Params{
+			S: 20 + 200*rng.Float64(),
+			K: 20 + 200*rng.Float64(),
+			R: 0.1 * rng.Float64(),
+			V: 0.05 + 0.6*rng.Float64(),
+			Y: 0.1 * rng.Float64(),
+			E: 0.1 + 3*rng.Float64(),
+		}
+		c := BlackScholes(p, Call)
+		v := BlackScholes(p, Put)
+		if c < 0 || v < 0 {
+			t.Fatalf("negative price: c=%v p=%v for %+v", c, v, p)
+		}
+		want := p.S*math.Exp(-p.Y*p.E) - p.K*math.Exp(-p.R*p.E)
+		if math.Abs(c-v-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("parity violated: %v vs %v for %+v", c-v, want, p)
+		}
+		// European call is bounded by the discounted spot.
+		if c > p.S*math.Exp(-p.Y*p.E)+1e-9 {
+			t.Fatalf("call %v above discounted spot for %+v", c, p)
+		}
+	}
+}
+
+// TestBlackScholesLimits: vol -> 0 collapses to discounted intrinsic of the
+// forward.
+func TestBlackScholesLimits(t *testing.T) {
+	p := Params{S: 150, K: 100, R: 0.02, V: 1e-8, Y: 0, E: 1}
+	want := p.S - p.K*math.Exp(-p.R*p.E)
+	if c := BlackScholes(p, Call); math.Abs(c-want) > 1e-6 {
+		t.Errorf("deep ITM zero-vol call %v, want %v", c, want)
+	}
+	if v := BlackScholes(p, Put); v > 1e-6 {
+		t.Errorf("deep OTM zero-vol put %v, want ~0", v)
+	}
+}

@@ -1,0 +1,105 @@
+// Package par provides the small fork-join runtime used by all parallel
+// algorithms in this module.
+//
+// The paper's C++ implementation relies on OpenMP with a greedy scheduler;
+// here goroutines play the role of OpenMP tasks. The package supports an
+// explicit worker-count override so that the Table 5 experiment (runtime as a
+// function of the number of cores p) can be reproduced without restarting the
+// process.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the user-requested parallelism. Zero means "use
+// runtime.GOMAXPROCS(0)".
+var workerOverride atomic.Int64
+
+// SetWorkers sets the number of workers used by For and Do. n <= 0 restores
+// the default (GOMAXPROCS). It returns the previous override (0 if none was
+// set), so callers can restore it.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// Workers reports the effective parallelism used by For and Do.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For executes body(lo, hi) over disjoint chunks covering [0, n) using up to
+// Workers() goroutines. grain is the minimum chunk size; it bounds scheduling
+// overhead for fine-grained loops. For runs body inline when the loop is
+// small or only one worker is available.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	maxChunks := (n + grain - 1) / grain
+	if w > maxChunks {
+		w = maxChunks
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	// Static partition into w nearly equal chunks, each >= grain except
+	// possibly the last. Static scheduling is appropriate here: every loop
+	// body in this module is uniform-cost across the index space.
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions as a fork-join block: all of them execute (the
+// last one inline on the calling goroutine) and Do returns when every one
+// has finished. With a single worker they run sequentially.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	if Workers() <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[:len(fns)-1] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[len(fns)-1]()
+	wg.Wait()
+}

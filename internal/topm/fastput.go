@@ -1,0 +1,62 @@
+package topm
+
+import (
+	"math"
+
+	"github.com/nlstencil/amop/internal/fbstencil"
+	"github.com/nlstencil/amop/internal/option"
+)
+
+// Experimental fast American PUT under the trinomial model (extension
+// beyond the paper; see bopm/fastput.go). The trinomial grid's fixed-price
+// lines drift one column left per step — on top of the exercise boundary's
+// own leftward drift — so the per-step drop bound here is 2 rather than 1.
+
+// putProblem builds the green-left instance for the American put.
+func (m *Model) putProblem() *fbstencil.GreenLeftOneSided {
+	green := func(depth, col int) float64 { return m.Exercise(option.Put, depth, col) }
+	guess := int(math.Ceil(float64(m.T) + math.Log(m.Prm.K/m.Prm.S)/m.logU))
+	if guess > 2*m.T {
+		guess = 2 * m.T
+	}
+	if guess < -1 {
+		guess = -1
+	}
+	for guess < 2*m.T && green(0, guess+1) > 0 {
+		guess++
+	}
+	for guess >= 0 && green(0, guess) <= 0 {
+		guess--
+	}
+	return &fbstencil.GreenLeftOneSided{
+		Stencil:  m.Stencil(),
+		T:        m.T,
+		Hi0:      2 * m.T,
+		Init:     func(col int) float64 { return math.Max(0, green(0, col)) },
+		Green:    green,
+		Bnd0:     guess,
+		BaseCase: m.baseC,
+		MaxDrop:  2,
+	}
+}
+
+// PriceFastPut prices the American put with the FFT-based green-left
+// solver: O(T log^2 T) work. Experimental — the put boundary structure
+// (unit contiguity, drops of at most two columns per interior step) is
+// validated empirically, not proven.
+func (m *Model) PriceFastPut() (float64, error) {
+	return m.PriceFastPutStats(nil)
+}
+
+// PriceFastPutStats is PriceFastPut with work-counter collection.
+func (m *Model) PriceFastPutStats(st *fbstencil.Stats) (float64, error) {
+	v, _, err := fbstencil.SolveGreenLeftOneSided(m.putProblem(), st)
+	return v, err
+}
+
+// ValidatePutStructure runs the O(T^2) structural validator for the put's
+// free boundary on this instance.
+func (m *Model) ValidatePutStructure() error {
+	_, err := fbstencil.GreenLeftOneSidedBoundaryTrace(m.putProblem())
+	return err
+}

@@ -1,0 +1,64 @@
+package topm
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nlstencil/amop/internal/option"
+)
+
+func TestPutBoundaryStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 20; trial++ {
+		p := randParams(rng)
+		if trial%2 == 0 {
+			p.Y = 0
+		}
+		m, err := New(p, 16+rng.Intn(300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ValidatePutStructure(); err != nil {
+			t.Errorf("trial %d (T=%d, %+v): %v", trial, m.T, m.Prm, err)
+		}
+	}
+}
+
+func TestFastPutMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	for trial := 0; trial < 25; trial++ {
+		p := randParams(rng)
+		if trial%2 == 0 {
+			p.Y = 0
+		}
+		m, err := New(p, 16+rng.Intn(500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := m.PriceFastPut()
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := m.PriceNaive(option.Put)
+		if d := relDiff(fast, naive); d > 1e-10 {
+			t.Errorf("trial %d (T=%d, %+v): fast %.12g naive %.12g rel %g", trial, m.T, p, fast, naive, d)
+		}
+	}
+}
+
+func TestFastPutPaperParams(t *testing.T) {
+	for _, T := range []int{100, 1000, 4000} {
+		m, err := New(option.Default(), T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := m.PriceFastPut()
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := m.PriceNaive(option.Put)
+		if d := relDiff(fast, naive); d > 1e-10 {
+			t.Errorf("T=%d: fast %.12g naive %.12g rel %g", T, fast, naive, d)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nlstencil/amop/internal/bopm"
+	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/cachesim"
+	"github.com/nlstencil/amop/internal/option"
+	"github.com/nlstencil/amop/internal/topm"
+)
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// The traced kernels must compute the same prices as the production
+// implementations — that is what makes their traffic counts meaningful.
+
+func TestTracedBOPMKernelsMatchProduction(t *testing.T) {
+	for _, T := range []int{64, 333, 1024} {
+		m, err := bopm.New(option.Default(), T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.PriceNaive(option.Call)
+		spec := BOPMSpec(m)
+
+		if got := NaiveGR(cachesim.NewSKX(), spec); relDiff(got, want) > 1e-10 {
+			t.Errorf("T=%d NaiveGR: %.12g want %.12g", T, got, want)
+		}
+		if got := TiledGR(cachesim.NewSKX(), spec, 128, 16); relDiff(got, want) > 1e-10 {
+			t.Errorf("T=%d TiledGR: %.12g want %.12g", T, got, want)
+		}
+		if got := FastGR(cachesim.NewSKX(), spec); relDiff(got, want) > 1e-10 {
+			t.Errorf("T=%d FastGR: %.12g want %.12g", T, got, want)
+		}
+	}
+}
+
+func TestTracedTOPMKernelsMatchProduction(t *testing.T) {
+	m, err := topm.New(option.Default(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.PriceNaive(option.Call)
+	spec := TOPMSpec(m)
+	if got := NaiveGR(cachesim.NewSKX(), spec); relDiff(got, want) > 1e-10 {
+		t.Errorf("NaiveGR: %.12g want %.12g", got, want)
+	}
+	if got := FastGR(cachesim.NewSKX(), spec); relDiff(got, want) > 1e-10 {
+		t.Errorf("FastGR: %.12g want %.12g", got, want)
+	}
+}
+
+func TestTracedBSMKernelsMatchProduction(t *testing.T) {
+	for _, T := range []int{64, 333, 1024} {
+		m, err := bsm.New(option.Default(), T, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.PriceNaive()
+		spec := BSMSpec(m)
+		K := option.Default().K
+		if got := K * NaiveGL(cachesim.NewSKX(), spec); relDiff(got, want) > 1e-10 {
+			t.Errorf("T=%d NaiveGL: %.12g want %.12g", T, got, want)
+		}
+		if got := K * FastGL(cachesim.NewSKX(), spec); relDiff(got, want) > 1e-10 {
+			t.Errorf("T=%d FastGL: %.12g want %.12g", T, got, want)
+		}
+	}
+}
+
+// TestMissShape reproduces the qualitative claim of Figure 7: once the row
+// no longer fits in L1 (T > 4096 at 8 bytes/cell against a 32 KB L1), the
+// quadratic sweep misses far more than the FFT algorithm. Below that size
+// the naive sweep's whole working set is L1-resident and the relation flips
+// — the same crossover visible at the left edge of the paper's plots.
+func TestMissShape(t *testing.T) {
+	T := 1 << 14
+	m, err := bopm.New(option.Default(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := BOPMSpec(m)
+
+	hNaive := cachesim.NewSKX()
+	NaiveGR(hNaive, spec)
+	hFast := cachesim.NewSKX()
+	FastGR(hFast, spec)
+
+	nm := hNaive.Snapshot().L1Misses
+	fm := hFast.Snapshot().L1Misses
+	if fm*4 > nm {
+		t.Errorf("fast L1 misses %d not well below naive %d at T=%d", fm, nm, T)
+	}
+
+	// And below the L1 capacity the naive sweep barely misses at all.
+	small, err := bopm.New(option.Default(), 1<<11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSmall := cachesim.NewSKX()
+	NaiveGR(hSmall, BOPMSpec(small))
+	if mm := hSmall.Snapshot().L1Misses; mm > 1<<12 {
+		t.Errorf("naive at T=2^11 missed %d times; its row should be L1-resident", mm)
+	}
+}
+
+// TestTiledImprovesOnNaiveL2: the cache-aware tiling's point is fewer deep
+// misses than the row-streaming loop once the grid exceeds L1.
+func TestTiledImprovesOnNaiveL2(t *testing.T) {
+	T := 1 << 13 // row = 64 KB > L1
+	m, err := bopm.New(option.Default(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := BOPMSpec(m)
+
+	hNaive := cachesim.NewSKX()
+	NaiveGR(hNaive, spec)
+	hTiled := cachesim.NewSKX()
+	TiledGR(hTiled, spec, 0, 0)
+
+	nl1 := hNaive.Snapshot().L1Misses
+	tl1 := hTiled.Snapshot().L1Misses
+	if tl1 >= nl1 {
+		t.Errorf("tiled L1 misses %d not below naive %d", tl1, nl1)
+	}
+}
+
+func TestFlopsAccrue(t *testing.T) {
+	m, err := bopm.New(option.Default(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cachesim.NewSKX()
+	FastGR(h, BOPMSpec(m))
+	if h.Snapshot().Flops == 0 {
+		t.Error("no flops recorded")
+	}
+}
