@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+# ci is the tier-1 gate: formatting, vet, build, tests.
+ci: fmt vet build test
+
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the quick cross-section of every experiment and records
+# the machine-readable perf trajectory (BENCH_all.json).
+bench:
+	$(GO) run ./cmd/amop-bench -experiment all

@@ -27,10 +27,7 @@ package amop
 import (
 	"fmt"
 
-	"github.com/nlstencil/amop/internal/bopm"
-	"github.com/nlstencil/amop/internal/bsm"
 	"github.com/nlstencil/amop/internal/option"
-	"github.com/nlstencil/amop/internal/topm"
 )
 
 // OptionType distinguishes calls from puts.
@@ -144,17 +141,23 @@ type Config struct {
 
 // Price prices the option under the given model and configuration.
 func Price(o Option, m Model, cfg Config) (float64, error) {
+	return priceModel(o, m, cfg, nil)
+}
+
+// priceModel is Price with an optional cache of constructed lattice models;
+// the batch engine passes one so that requests sharing lattice parameters
+// reuse a single model instance. A nil cache constructs models directly.
+func priceModel(o Option, m Model, cfg Config, cache *modelCache) (float64, error) {
 	if cfg.Steps < 1 {
 		return 0, fmt.Errorf("amop: Config.Steps = %d must be >= 1", cfg.Steps)
 	}
 	kind := option.Kind(o.Type)
 	switch m {
 	case Binomial:
-		mdl, err := bopm.New(o.params(), cfg.Steps)
+		mdl, err := cache.bopm(o.params(), cfg)
 		if err != nil {
 			return 0, err
 		}
-		mdl.SetBaseCase(cfg.BaseCase)
 		if cfg.European {
 			return priceEuropeanLattice(cfg, kind,
 				mdl.PriceEuropean, mdl.PriceEuropeanNaive)
@@ -162,11 +165,10 @@ func Price(o Option, m Model, cfg Config) (float64, error) {
 		return priceAmericanLattice(cfg, kind,
 			mdl.PriceFast, mdl.PriceFastPut, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
 	case Trinomial:
-		mdl, err := topm.New(o.params(), cfg.Steps)
+		mdl, err := cache.topm(o.params(), cfg)
 		if err != nil {
 			return 0, err
 		}
-		mdl.SetBaseCase(cfg.BaseCase)
 		if cfg.European {
 			return priceEuropeanLattice(cfg, kind,
 				mdl.PriceEuropean, mdl.PriceEuropeanNaive)
@@ -174,11 +176,10 @@ func Price(o Option, m Model, cfg Config) (float64, error) {
 		return priceAmericanLattice(cfg, kind,
 			mdl.PriceFast, mdl.PriceFastPut, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
 	case BlackScholesFD:
-		mdl, err := bsm.New(o.params(), cfg.Steps, cfg.Lambda)
+		mdl, err := cache.bsm(o.params(), cfg)
 		if err != nil {
 			return 0, err
 		}
-		mdl.SetBaseCase(cfg.BaseCase)
 		if cfg.European {
 			if kind != option.Put {
 				return 0, fmt.Errorf("amop: the BlackScholesFD grid prices puts; use BlackScholes for European calls or a lattice model")

@@ -1,0 +1,444 @@
+// Batch pricing engine: prices many option contracts concurrently over a
+// bounded worker pool, with per-item error isolation, memoization of
+// repeated contracts, and reuse of constructed lattice models across
+// requests that share lattice parameters.
+//
+// This is the workload the paper's introduction motivates — a desk
+// repricing a whole option surface fast enough to follow the market — made
+// first-class: PriceBatch for arbitrary portfolios, Chain for the classic
+// strikes x expiries grid with Greeks and round-trip implied vols.
+package amop
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/nlstencil/amop/internal/bopm"
+	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/option"
+	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/topm"
+)
+
+// AutoModel selects the natural model for the option type, as PriceAmerican
+// does: binomial for calls, Black-Scholes-Merton finite differences for
+// American puts (European puts stay on the binomial lattice).
+const AutoModel Model = -1
+
+// Request is one contract to price in a batch.
+type Request struct {
+	Option Option
+	// Model is the discretization; AutoModel picks the natural model for
+	// the option type. The zero value is Binomial, matching Price.
+	Model Model
+	// Config carries the per-request steps and algorithm, exactly as in
+	// Price. Config.Steps is required (>= 1).
+	Config Config
+}
+
+// Result is the outcome of one Request. Err is set per item: one bad
+// contract never aborts the rest of the batch.
+type Result struct {
+	Price float64
+	Err   error
+}
+
+// BatchOptions controls PriceBatch and Chain scheduling.
+type BatchOptions struct {
+	// Workers bounds the number of requests priced concurrently; zero
+	// selects par.Workers() (GOMAXPROCS unless overridden). The engine
+	// claims its workers from the same spawn budget the pricers' inner
+	// parallel loops draw on, so a saturated batch runs each pricer
+	// serially instead of oversubscribing the machine.
+	Workers int
+	// OnResult, when non-nil, is invoked once per request as its result
+	// completes (in completion order, serialized, concurrent with the rest
+	// of the batch) — e.g. to stream quotes as they become available.
+	OnResult func(i int, r Result)
+}
+
+// PriceBatch prices every request over a bounded worker pool and returns one
+// Result per request, in request order. Errors are reported per item;
+// panics in a pricer are captured into that item's Err. Requests that repeat
+// a contract (same option, model and config) are priced once and shared, and
+// constructed lattice models are reused across requests with identical
+// lattice parameters.
+func PriceBatch(reqs []Request, opts BatchOptions) []Result {
+	res := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return res
+	}
+	eng := newEngine()
+	var deliverMu sync.Mutex
+	runPool(len(reqs), opts.Workers, func(i int) {
+		r := eng.run(reqs[i])
+		res[i] = r
+		if opts.OnResult != nil {
+			deliverMu.Lock()
+			defer deliverMu.Unlock()
+			opts.OnResult(i, r)
+		}
+	})
+	return res
+}
+
+// runPool executes job(0..n-1) on up to workers goroutines (bounded by n and
+// by the global par spawn budget), pulling indices dynamically so
+// heterogeneous jobs — mixed step counts, mixed algorithms — balance across
+// the pool. The calling goroutine is one of the workers.
+func runPool(n, workers int, job func(i int)) {
+	w := workers
+	if w <= 0 {
+		w = par.Workers()
+	}
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			job(i)
+		}
+	}
+	spawn := 0
+	if w > 1 {
+		spawn = par.TryAcquire(w - 1)
+	}
+	// Release via defer: a panic escaping the inline worker (e.g. from a
+	// user OnResult callback) must not leak the process-wide spawn budget.
+	defer par.Release(spawn)
+	var wg sync.WaitGroup
+	for k := 0; k < spawn; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// resolveModel maps AutoModel to the natural model for the request.
+func resolveModel(o Option, m Model, cfg Config) Model {
+	if m != AutoModel {
+		return m
+	}
+	if o.Type == Put && !cfg.European {
+		return BlackScholesFD
+	}
+	return Binomial
+}
+
+// --- engine -----------------------------------------------------------------
+
+// engine carries the shared state of one batch: the lattice-model cache and
+// the per-contract price memo. It is safe for concurrent use.
+type engine struct {
+	models modelCache
+
+	mu   sync.Mutex
+	memo map[priceKey]*priceEntry
+}
+
+func newEngine() *engine {
+	return &engine{memo: make(map[priceKey]*priceEntry)}
+}
+
+type priceKey struct {
+	o   Option
+	m   Model
+	cfg Config
+}
+
+type priceEntry struct {
+	once  sync.Once
+	price float64
+	err   error
+}
+
+// run prices one request with panic isolation.
+func (e *engine) run(req Request) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("amop: panic while pricing: %v", r)}
+		}
+	}()
+	p, err := e.price(req.Option, resolveModel(req.Option, req.Model, req.Config), req.Config)
+	return Result{Price: p, Err: err}
+}
+
+// price is the memoized pricer: identical (option, model, config) requests
+// are priced exactly once; concurrent duplicates wait for the first.
+func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
+	k := priceKey{o: o, m: m, cfg: cfg}
+	e.mu.Lock()
+	ent := e.memo[k]
+	if ent == nil {
+		ent = &priceEntry{}
+		e.memo[k] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		// Capture panics here, inside the Once, not just in run: the Once
+		// is consumed even when its function panics, so a later duplicate
+		// would otherwise read a silent (0, nil) from the poisoned entry.
+		defer func() {
+			if r := recover(); r != nil {
+				ent.err = fmt.Errorf("amop: panic while pricing: %v", r)
+			}
+		}()
+		ent.price, ent.err = priceModel(o, m, cfg, &e.models)
+	})
+	return ent.price, ent.err
+}
+
+// priceAmerican mirrors PriceAmerican through the engine's caches.
+func (e *engine) priceAmerican(o Option, steps int) (float64, error) {
+	cfg := Config{Steps: steps}
+	return e.price(o, resolveModel(o, AutoModel, cfg), cfg)
+}
+
+// --- model cache ------------------------------------------------------------
+
+// latticeKey identifies a constructed model: every input New consumes.
+type latticeKey struct {
+	prm      option.Params
+	steps    int
+	lambda   float64
+	baseCase int
+}
+
+// modelCache shares constructed bopm/topm/bsm models between requests with
+// identical lattice parameters. Models are immutable once built (SetBaseCase
+// is applied before publication), so cached instances are safe to price from
+// concurrently. The zero value is ready to use; a nil *modelCache disables
+// caching (every lookup constructs).
+type modelCache struct {
+	mu    sync.Mutex
+	bopms map[latticeKey]*bopm.Model
+	topms map[latticeKey]*topm.Model
+	bsms  map[latticeKey]*bsm.Model
+	hits  int
+}
+
+// Hits reports how many lookups were served from the cache (for tests).
+func (c *modelCache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *modelCache) bopm(p option.Params, cfg Config) (*bopm.Model, error) {
+	if c == nil {
+		m, err := bopm.New(p, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		m.SetBaseCase(cfg.BaseCase)
+		return m, nil
+	}
+	k := latticeKey{prm: p, steps: cfg.Steps, baseCase: cfg.BaseCase}
+	c.mu.Lock()
+	if m, ok := c.bopms[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	m, err := bopm.New(p, cfg.Steps)
+	if err != nil {
+		return nil, err
+	}
+	m.SetBaseCase(cfg.BaseCase)
+	c.mu.Lock()
+	if c.bopms == nil {
+		c.bopms = make(map[latticeKey]*bopm.Model)
+	}
+	if prior, ok := c.bopms[k]; ok {
+		m = prior // a concurrent builder won; share its instance
+	} else {
+		c.bopms[k] = m
+	}
+	c.mu.Unlock()
+	return m, nil
+}
+
+func (c *modelCache) topm(p option.Params, cfg Config) (*topm.Model, error) {
+	if c == nil {
+		m, err := topm.New(p, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		m.SetBaseCase(cfg.BaseCase)
+		return m, nil
+	}
+	k := latticeKey{prm: p, steps: cfg.Steps, baseCase: cfg.BaseCase}
+	c.mu.Lock()
+	if m, ok := c.topms[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	m, err := topm.New(p, cfg.Steps)
+	if err != nil {
+		return nil, err
+	}
+	m.SetBaseCase(cfg.BaseCase)
+	c.mu.Lock()
+	if c.topms == nil {
+		c.topms = make(map[latticeKey]*topm.Model)
+	}
+	if prior, ok := c.topms[k]; ok {
+		m = prior
+	} else {
+		c.topms[k] = m
+	}
+	c.mu.Unlock()
+	return m, nil
+}
+
+func (c *modelCache) bsm(p option.Params, cfg Config) (*bsm.Model, error) {
+	if c == nil {
+		m, err := bsm.New(p, cfg.Steps, cfg.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		m.SetBaseCase(cfg.BaseCase)
+		return m, nil
+	}
+	k := latticeKey{prm: p, steps: cfg.Steps, lambda: cfg.Lambda, baseCase: cfg.BaseCase}
+	c.mu.Lock()
+	if m, ok := c.bsms[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	m, err := bsm.New(p, cfg.Steps, cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	m.SetBaseCase(cfg.BaseCase)
+	c.mu.Lock()
+	if c.bsms == nil {
+		c.bsms = make(map[latticeKey]*bsm.Model)
+	}
+	if prior, ok := c.bsms[k]; ok {
+		m = prior
+	} else {
+		c.bsms[k] = m
+	}
+	c.mu.Unlock()
+	return m, nil
+}
+
+// --- chain ------------------------------------------------------------------
+
+// Quote is one cell of a Chain surface.
+type Quote struct {
+	Strike, Expiry float64
+	Price          float64
+	Greeks         Greeks  // zero when ChainOptions.SkipGreeks
+	ImpliedVol     float64 // zero when ChainOptions.SkipImpliedVol
+	Err            error   // per-cell; other cells are unaffected
+}
+
+// ChainOptions controls Chain.
+type ChainOptions struct {
+	// Steps is the lattice resolution for the headline price (default 10000).
+	Steps int
+	// GreeksSteps and IVSteps are the resolutions for the bump-and-reprice
+	// Greeks and the implied-vol round trip; zero selects Steps/4 — the
+	// bisection and the five Greek bumps reprice the contract dozens of
+	// times, and O(1/T) lattice bias cancels in the differences.
+	GreeksSteps, IVSteps int
+	// SkipGreeks / SkipImpliedVol drop those columns for a price-only chain.
+	SkipGreeks, SkipImpliedVol bool
+	// Workers bounds the pool as in BatchOptions.
+	Workers int
+}
+
+func (o ChainOptions) withDefaults() ChainOptions {
+	if o.Steps <= 0 {
+		o.Steps = 10_000
+	}
+	if o.GreeksSteps <= 0 {
+		o.GreeksSteps = max(o.Steps/4, 1)
+	}
+	if o.IVSteps <= 0 {
+		o.IVSteps = max(o.Steps/4, 1)
+	}
+	return o
+}
+
+// Chain prices an American option chain — the strikes x expiries grid on one
+// underlying — with Greeks and round-trip implied vols, in one batched call.
+// The underlying option supplies Type, S, R, V and Y; K and E are overridden
+// per cell. Quotes are returned in row-major order: cell (i, j) of the grid
+// is Quotes[i*len(expiries)+j]. Each cell prices under its natural model
+// (see AutoModel), errors are reported per cell, and the whole grid shares
+// one bounded worker pool and one model/price cache.
+func Chain(underlying Option, strikes, expiries []float64, opts ChainOptions) []Quote {
+	o := opts.withDefaults()
+	quotes := make([]Quote, len(strikes)*len(expiries))
+	if len(quotes) == 0 {
+		return quotes
+	}
+	eng := newEngine()
+	runPool(len(quotes), o.Workers, func(idx int) {
+		i, j := idx/len(expiries), idx%len(expiries)
+		quotes[idx] = eng.quote(underlying, strikes[i], expiries[j], o)
+	})
+	return quotes
+}
+
+// quote prices one chain cell with panic isolation.
+func (e *engine) quote(underlying Option, strike, expiry float64, opts ChainOptions) (q Quote) {
+	q = Quote{Strike: strike, Expiry: expiry}
+	defer func() {
+		if r := recover(); r != nil {
+			q.Err = fmt.Errorf("amop: panic while quoting K=%v E=%v: %v", strike, expiry, r)
+		}
+	}()
+	o := underlying
+	o.K, o.E = strike, expiry
+
+	price, err := e.priceAmerican(o, opts.Steps)
+	if err != nil {
+		q.Err = err
+		return q
+	}
+	q.Price = price
+
+	if !opts.SkipGreeks {
+		g, err := greeks(o, func(oo Option) (float64, error) {
+			return e.priceAmerican(oo, opts.GreeksSteps)
+		})
+		if err != nil {
+			q.Err = err
+			return q
+		}
+		q.Greeks = g
+	}
+
+	if !opts.SkipImpliedVol {
+		// Round-trip the implied vol from the computed price as the desk
+		// sanity check: solving at IVSteps should recover the vol mark.
+		iv, err := impliedVolWith(o, price, func(oo Option) (float64, error) {
+			return e.priceAmerican(oo, opts.IVSteps)
+		})
+		if err != nil {
+			q.Err = err
+			return q
+		}
+		q.ImpliedVol = iv
+	}
+	return q
+}

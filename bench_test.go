@@ -9,6 +9,7 @@
 package amop_test
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/nlstencil/amop"
@@ -246,6 +247,66 @@ func BenchmarkGreeks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := amop.GreeksAmerican(o, 1<<12); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Batch engine: a 45-contract chain (9 strikes x 5 expiries, T=20k) ------
+//
+// BenchmarkBatchEngine prices the chain through the bounded-pool batch
+// engine; BenchmarkBatchNaiveFanout is the ad-hoc baseline examples/chain
+// used to hand-roll — one goroutine per contract on top of the internally
+// parallel pricers. The engine must be no slower while keeping the worker
+// count bounded and aborting nothing.
+
+func chainRequests() []amop.Request {
+	underlying := amop.Option{Type: amop.Call, S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
+	strikes := []float64{100, 110, 120, 125, 130, 135, 140, 150, 160}
+	expiries := []float64{1.0 / 12, 0.25, 0.5, 1.0, 2.0}
+	reqs := make([]amop.Request, 0, len(strikes)*len(expiries))
+	for _, k := range strikes {
+		for _, e := range expiries {
+			o := underlying
+			o.K, o.E = k, e
+			reqs = append(reqs, amop.Request{
+				Option: o, Model: amop.AutoModel, Config: amop.Config{Steps: 20_000},
+			})
+		}
+	}
+	return reqs
+}
+
+func BenchmarkBatchEngine(b *testing.B) {
+	reqs := chainRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, r := range amop.PriceBatch(reqs, amop.BatchOptions{}) {
+			if r.Err != nil {
+				b.Fatalf("request %d: %v", j, r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchNaiveFanout(b *testing.B) {
+	reqs := chainRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prices := make([]float64, len(reqs))
+		errs := make([]error, len(reqs))
+		var wg sync.WaitGroup
+		for j, req := range reqs {
+			wg.Add(1)
+			go func(j int, req amop.Request) {
+				defer wg.Done()
+				prices[j], errs[j] = amop.PriceAmerican(req.Option, req.Config.Steps)
+			}(j, req)
+		}
+		wg.Wait()
+		for j, err := range errs {
+			if err != nil {
+				b.Fatalf("request %d: %v", j, err)
+			}
 		}
 	}
 }

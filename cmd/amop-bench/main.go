@@ -10,7 +10,12 @@
 //
 // Experiment IDs map one-to-one onto the paper: fig5a/fig5b/fig5c (running
 // time), fig6 (energy), fig7 (cache misses), fig10 (energy by domain),
-// table5 (scaling with p), table2 (work exponents), accuracy, ablation.
+// table5 (scaling with p), table2 (work exponents), accuracy, ablation —
+// plus batch, the chain-repricing workload of the batch engine.
+//
+// Every run also writes a machine-readable BENCH_<experiment>.json record
+// (override the path with -json, disable with -json -), so the repository's
+// performance trajectory is tracked commit over commit.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 		maxQuadT   = flag.Int("maxQuadT", 1<<15, "largest T for quadratic baselines (wall clock)")
 		maxTraceT  = flag.Int("maxTraceT", 1<<13, "largest T for traced (simulated) runs")
 		outDir     = flag.String("out", "", "directory for CSV output (empty: stdout only)")
+		jsonOut    = flag.String("json", "", "path for a machine-readable run record (empty: BENCH_<experiment>.json; '-' disables)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -38,11 +44,19 @@ func main() {
 		}
 		return
 	}
+	jsonPath := *jsonOut
+	switch jsonPath {
+	case "":
+		jsonPath = fmt.Sprintf("BENCH_%s.json", *experiment)
+	case "-":
+		jsonPath = ""
+	}
 	cfg := harness.Config{
 		MaxT:      *maxT,
 		MaxQuadT:  *maxQuadT,
 		MaxTraceT: *maxTraceT,
 		OutDir:    *outDir,
+		JSONPath:  jsonPath,
 	}
 	if err := harness.RunByID(*experiment, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "amop-bench:", err)

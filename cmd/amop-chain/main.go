@@ -1,0 +1,330 @@
+// Command amop-chain prices a whole contract list — an option chain or an
+// arbitrary portfolio — through the batch pricing engine, streaming results
+// as they complete. It is the serve-traffic entry point: feed it the desk's
+// contract file and it keeps every core busy with a bounded worker pool,
+// reporting errors per contract instead of aborting the batch.
+//
+// Usage:
+//
+//	amop-chain -in contracts.json                 # JSON array of contracts
+//	amop-chain -in contracts.csv                  # CSV with a header row
+//	cat contracts.json | amop-chain -format json  # read stdin
+//	amop-chain -in contracts.csv -output table    # aligned table, request order
+//
+// JSON input is an array of objects:
+//
+//	[{"type": "call", "S": 127.62, "K": 130, "R": 0.00163, "V": 0.2,
+//	  "Y": 0.0163, "E": 1.0, "steps": 10000, "model": "auto",
+//	  "algorithm": "fast", "european": false}]
+//
+// CSV input has a header naming any subset of the same fields:
+//
+//	type,S,K,R,V,Y,E,steps
+//	call,127.62,130,0.00163,0.2,0.0163,1.0,10000
+//
+// steps, model and algorithm are optional everywhere; the -steps flag sets
+// the default resolution. The default output is NDJSON, one line per
+// contract in completion order, so downstream consumers see quotes the
+// moment they are ready.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/nlstencil/amop"
+)
+
+// contract is one row of the input file.
+type contract struct {
+	Type      string  `json:"type"`
+	S         float64 `json:"S"`
+	K         float64 `json:"K"`
+	R         float64 `json:"R"`
+	V         float64 `json:"V"`
+	Y         float64 `json:"Y"`
+	E         float64 `json:"E"`
+	Steps     int     `json:"steps"`
+	Model     string  `json:"model"`
+	Algorithm string  `json:"algorithm"`
+	European  bool    `json:"european"`
+}
+
+// quoteLine is one NDJSON output record.
+type quoteLine struct {
+	I     int     `json:"i"`
+	Type  string  `json:"type"`
+	K     float64 `json:"K"`
+	E     float64 `json:"E"`
+	Price float64 `json:"price,omitempty"`
+	Error string  `json:"error,omitempty"`
+	Ms    float64 `json:"ms"`
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "contract list file (JSON array or CSV); '-' reads stdin")
+		format   = flag.String("format", "auto", "input format: json, csv or auto (by extension, else json)")
+		output   = flag.String("output", "ndjson", "output format: ndjson (streamed, completion order) or table (request order)")
+		steps    = flag.Int("steps", 10_000, "default time steps T for contracts that do not set steps")
+		workers  = flag.Int("workers", 0, "worker pool bound (0: one per core)")
+		failFast = flag.Bool("q", false, "suppress the stderr summary line")
+	)
+	flag.Parse()
+
+	if *output != "ndjson" && *output != "table" {
+		fail(fmt.Errorf("unknown output format %q (want ndjson or table)", *output))
+	}
+
+	contracts, err := readContracts(*in, *format)
+	if err != nil {
+		fail(err)
+	}
+	if len(contracts) == 0 {
+		fail(fmt.Errorf("no contracts in %s", *in))
+	}
+
+	// Translate rows to requests. A row that fails to parse (unknown model,
+	// bad type, ...) becomes a per-item error, like a contract that fails to
+	// price: it never aborts the rest of the batch.
+	results := make([]amop.Result, len(contracts))
+	var reqs []amop.Request
+	var origIdx []int
+	for i, c := range contracts {
+		req, err := c.request(*steps)
+		if err != nil {
+			results[i] = amop.Result{Err: err}
+			continue
+		}
+		reqs = append(reqs, req)
+		origIdx = append(origIdx, i)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	last := start
+	stream := func(i int, r amop.Result) {
+		now := time.Now()
+		line := quoteLine{
+			I: i, Type: contracts[i].Type, K: contracts[i].K, E: contracts[i].E,
+			Ms: float64(now.Sub(last).Microseconds()) / 1e3,
+		}
+		last = now
+		if r.Err != nil {
+			line.Error = r.Err.Error()
+		} else {
+			line.Price = r.Price
+		}
+		enc.Encode(line)
+	}
+	opts := amop.BatchOptions{Workers: *workers}
+	if *output == "ndjson" {
+		for i, r := range results {
+			if r.Err != nil {
+				stream(i, r)
+			}
+		}
+		opts.OnResult = func(i int, r amop.Result) { stream(origIdx[i], r) }
+	}
+	for i, r := range amop.PriceBatch(reqs, opts) {
+		results[origIdx[i]] = r
+	}
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+
+	if *output == "table" {
+		fmt.Printf("%4s  %-5s  %10s  %8s  %12s  %s\n", "#", "type", "K", "E", "price", "error")
+		for i, r := range results {
+			c := contracts[i]
+			if r.Err != nil {
+				fmt.Printf("%4d  %-5s  %10.4f  %8.4f  %12s  %v\n", i, c.Type, c.K, c.E, "-", r.Err)
+				continue
+			}
+			fmt.Printf("%4d  %-5s  %10.4f  %8.4f  %12.6f\n", i, c.Type, c.K, c.E, r.Price)
+		}
+	}
+	if !*failFast {
+		fmt.Fprintf(os.Stderr, "amop-chain: %d contracts in %v (%d failed)\n",
+			len(results), elapsed.Round(time.Millisecond), failed)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// request translates one input row into an engine request.
+func (c contract) request(defaultSteps int) (amop.Request, error) {
+	req := amop.Request{
+		Option: amop.Option{S: c.S, K: c.K, R: c.R, V: c.V, Y: c.Y, E: c.E},
+		Config: amop.Config{Steps: c.Steps, European: c.European},
+	}
+	switch strings.ToLower(c.Type) {
+	case "call", "c", "":
+		req.Option.Type = amop.Call
+	case "put", "p":
+		req.Option.Type = amop.Put
+	default:
+		return req, fmt.Errorf("unknown option type %q", c.Type)
+	}
+	if req.Config.Steps == 0 {
+		req.Config.Steps = defaultSteps
+	}
+	switch strings.ToLower(c.Model) {
+	case "", "auto":
+		req.Model = amop.AutoModel
+	case "bopm", "binomial":
+		req.Model = amop.Binomial
+	case "topm", "trinomial":
+		req.Model = amop.Trinomial
+	case "bsm", "blackscholesfd":
+		req.Model = amop.BlackScholesFD
+	default:
+		return req, fmt.Errorf("unknown model %q", c.Model)
+	}
+	switch strings.ToLower(c.Algorithm) {
+	case "", "fast":
+		req.Config.Algorithm = amop.Fast
+	case "naive":
+		req.Config.Algorithm = amop.Naive
+	case "naive-parallel":
+		req.Config.Algorithm = amop.NaiveParallel
+	case "tiled":
+		req.Config.Algorithm = amop.Tiled
+	case "recursive":
+		req.Config.Algorithm = amop.Recursive
+	default:
+		return req, fmt.Errorf("unknown algorithm %q", c.Algorithm)
+	}
+	return req, nil
+}
+
+func readContracts(path, format string) ([]contract, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if format == "auto" {
+		switch {
+		case strings.HasSuffix(path, ".csv"):
+			format = "csv"
+		default:
+			format = "json"
+		}
+	}
+	switch format {
+	case "json":
+		var cs []contract
+		dec := json.NewDecoder(r)
+		if err := dec.Decode(&cs); err != nil {
+			return nil, fmt.Errorf("parsing JSON contract list: %w", err)
+		}
+		return cs, nil
+	case "csv":
+		return readCSV(r)
+	default:
+		return nil, fmt.Errorf("unknown input format %q", format)
+	}
+}
+
+func readCSV(r io.Reader) ([]contract, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading CSV header: %w", err)
+	}
+	var cs []contract
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return cs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var c contract
+		for i, col := range header {
+			if i >= len(rec) {
+				break
+			}
+			val := strings.TrimSpace(rec[i])
+			if val == "" {
+				continue
+			}
+			if err := c.set(strings.TrimSpace(col), val); err != nil {
+				return nil, fmt.Errorf("csv line %d: %w", line, err)
+			}
+		}
+		cs = append(cs, c)
+	}
+}
+
+// set assigns one CSV cell by header name.
+func (c *contract) set(col, val string) error {
+	num := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("column %s: %w", col, err)
+		}
+		*dst = v
+		return nil
+	}
+	switch col {
+	case "type":
+		c.Type = val
+	case "S", "spot":
+		return num(&c.S)
+	case "K", "strike":
+		return num(&c.K)
+	case "R", "rate":
+		return num(&c.R)
+	case "V", "vol", "volatility":
+		return num(&c.V)
+	case "Y", "yield", "dividend":
+		return num(&c.Y)
+	case "E", "expiry":
+		return num(&c.E)
+	case "steps":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("column steps: %w", err)
+		}
+		c.Steps = v
+	case "model":
+		c.Model = val
+	case "algorithm":
+		c.Algorithm = val
+	case "european":
+		v, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("column european: %w", err)
+		}
+		c.European = v
+	default:
+		return fmt.Errorf("unknown column %q", col)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amop-chain:", err)
+	os.Exit(1)
+}

@@ -4,12 +4,16 @@
 // motivates: a desk repricing a whole surface fast enough to follow the
 // market, where the O(T log^2 T) pricer turns a coffee-break batch into an
 // interactive one.
+//
+// The heavy lifting is amop.Chain: it schedules the grid over a bounded
+// worker pool (no goroutine-per-contract oversubscription), shares lattice
+// models between cells, and reports errors per cell — one bad contract never
+// discards the quotes that already finished.
 package main
 
 import (
 	"fmt"
-	"log"
-	"sync"
+	"os"
 	"time"
 
 	"github.com/nlstencil/amop"
@@ -27,41 +31,17 @@ func main() {
 	expiries := []float64{1.0 / 12, 0.25, 0.5, 1.0, 2.0}
 	const steps = 20_000
 
-	type quote struct {
-		k, e         float64
-		price, delta float64
-		iv           float64
-	}
-	quotes := make([]quote, len(strikes)*len(expiries))
-
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i, k := range strikes {
-		for j, e := range expiries {
-			wg.Add(1)
-			go func(idx int, k, e float64) {
-				defer wg.Done()
-				o := underlying
-				o.K, o.E = k, e
-				price, err := amop.PriceAmerican(o, steps)
-				if err != nil {
-					log.Fatal(err)
-				}
-				g, err := amop.GreeksAmerican(o, steps/4)
-				if err != nil {
-					log.Fatal(err)
-				}
-				// Round-trip the implied vol as a desk sanity check.
-				iv, err := amop.ImpliedVol(o, steps/4, price)
-				if err != nil {
-					log.Fatal(err)
-				}
-				quotes[idx] = quote{k: k, e: e, price: price, delta: g.Delta, iv: iv}
-			}(i*len(expiries)+j, k, e)
+	quotes := amop.Chain(underlying, strikes, expiries, amop.ChainOptions{Steps: steps})
+	elapsed := time.Since(start)
+
+	failed := 0
+	for idx, q := range quotes {
+		if q.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "quote %d (K=%.0f, E=%.2fy): %v\n", idx, q.Strike, q.Expiry, q.Err)
 		}
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
 
 	fmt.Printf("American call chain  S=%.2f  vol=%.0f%%  (T=%d per price)\n\n", underlying.S, underlying.V*100, steps)
 	fmt.Printf("%8s", "K\\E")
@@ -72,7 +52,12 @@ func main() {
 	for i, k := range strikes {
 		fmt.Printf("%8.0f", k)
 		for j := range expiries {
-			fmt.Printf("  %9.4f", quotes[i*len(expiries)+j].price)
+			q := quotes[i*len(expiries)+j]
+			if q.Err != nil {
+				fmt.Printf("  %9s", "ERR")
+				continue
+			}
+			fmt.Printf("  %9.4f", q.Price)
 		}
 		fmt.Println()
 	}
@@ -80,12 +65,15 @@ func main() {
 	fmt.Printf("\ndeltas (1y column): ")
 	for i, k := range strikes {
 		q := quotes[i*len(expiries)+3]
-		fmt.Printf("%.0f:%.2f ", k, q.delta)
+		fmt.Printf("%.0f:%.2f ", k, q.Greeks.Delta)
 	}
 	fmt.Printf("\nimplied vols round-trip (1y column): ")
 	for i := range strikes {
-		fmt.Printf("%.4f ", quotes[i*len(expiries)+3].iv)
+		fmt.Printf("%.4f ", quotes[i*len(expiries)+3].ImpliedVol)
 	}
-	fmt.Printf("\n\n%d options with Greeks and implied vols in %v\n",
-		len(quotes), elapsed.Round(time.Millisecond))
+	fmt.Printf("\n\n%d options with Greeks and implied vols in %v (%d failed)\n",
+		len(quotes), elapsed.Round(time.Millisecond), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,3 @@
+module github.com/nlstencil/amop
+
+go 1.21

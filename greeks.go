@@ -108,6 +108,14 @@ func greeks(o Option, price func(Option) (float64, error)) (Greeks, error) {
 // unique when it exists; an error is returned when target lies outside the
 // attainable range.
 func ImpliedVol(o Option, steps int, target float64) (float64, error) {
+	return impliedVolWith(o, target, func(oo Option) (float64, error) {
+		return PriceAmerican(oo, steps)
+	})
+}
+
+// impliedVolWith is ImpliedVol around an arbitrary pricer, so the batch
+// engine can route the bisection's repricings through its caches.
+func impliedVolWith(o Option, target float64, price func(Option) (float64, error)) (float64, error) {
 	if math.IsNaN(target) || target <= 0 {
 		return 0, fmt.Errorf("amop: implied vol target %v must be positive", target)
 	}
@@ -115,7 +123,7 @@ func ImpliedVol(o Option, steps int, target float64) (float64, error) {
 	priceAt := func(v float64) (float64, error) {
 		oo := o
 		oo.V = v
-		return PriceAmerican(oo, steps)
+		return price(oo)
 	}
 	// The binomial tree degenerates (q outside (0,1)) when one volatility
 	// step cannot cover the drift; raise the lower bracket until the model
@@ -133,7 +141,10 @@ func ImpliedVol(o Option, steps int, target float64) (float64, error) {
 		return 0, err
 	}
 	if target < pLo || target > pHi {
-		return 0, fmt.Errorf("amop: target price %v outside attainable range [%v, %v]", target, pLo, pHi)
+		// Report the bracket the search actually used: when the lattice
+		// degenerated at low vols the lower bound was raised above 1e-4,
+		// and pLo is only attainable down to that raised volatility.
+		return 0, fmt.Errorf("amop: target price %v outside the attainable range [%v, %v] for volatility in [%v, %v]", target, pLo, pHi, lo, hi)
 	}
 	for iter := 0; iter < 100 && hi-lo > 1e-8; iter++ {
 		mid := (lo + hi) / 2

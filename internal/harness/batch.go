@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/nlstencil/amop"
+)
+
+// The batch experiment times the desk workload the paper's introduction
+// motivates: repricing a whole option chain. It compares the bounded-pool
+// batch engine against the ad-hoc goroutine-per-contract fan-out it
+// replaced, at several chain sizes.
+
+func init() {
+	register(Experiment{"batch", "chain repricing: batch engine vs goroutine-per-contract fan-out", batch})
+}
+
+func batch(cfg Config) ([]*Table, error) {
+	strikes := []float64{100, 110, 120, 125, 130, 135, 140, 150, 160}
+	expiries := []float64{1.0 / 12, 0.25, 0.5, 1.0, 2.0}
+	underlying := amop.Option{Type: amop.Call, S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
+
+	t := &Table{
+		ID:     "batch",
+		Title:  "45-contract chain repricing time (seconds)",
+		Note:   "9 strikes x 5 expiries, American calls, fast algorithm; engine = amop.PriceBatch (bounded pool), fanout = one goroutine per contract",
+		Header: []string{"T", "engine_s", "fanout_s", "fanout/engine"},
+	}
+	for T := 1 << 12; T <= min(cfg.MaxT, 1<<15); T *= 2 {
+		reqs := make([]amop.Request, 0, len(strikes)*len(expiries))
+		for _, k := range strikes {
+			for _, e := range expiries {
+				o := underlying
+				o.K, o.E = k, e
+				reqs = append(reqs, amop.Request{Option: o, Model: amop.AutoModel, Config: amop.Config{Steps: T}})
+			}
+		}
+		engine := timeIt(func() {
+			for i, r := range amop.PriceBatch(reqs, amop.BatchOptions{}) {
+				if r.Err != nil {
+					panic(fmt.Sprintf("batch request %d: %v", i, r.Err))
+				}
+			}
+		})
+		fanout := timeIt(func() {
+			var wg sync.WaitGroup
+			for _, req := range reqs {
+				wg.Add(1)
+				go func(req amop.Request) {
+					defer wg.Done()
+					if _, err := amop.PriceAmerican(req.Option, req.Config.Steps); err != nil {
+						panic(err)
+					}
+				}(req)
+			}
+			wg.Wait()
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", T), secs(engine), secs(fanout), ratio(fanout, engine),
+		})
+	}
+	return []*Table{t}, nil
+}

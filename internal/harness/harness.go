@@ -9,11 +9,13 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +28,7 @@ type Config struct {
 	MaxQuadT  int    // cap for quadratic baselines' wall-clock runs (default 1<<15)
 	MaxTraceT int    // cap for traced (simulated) runs (default 1<<13)
 	OutDir    string // when non-empty, write <id>.csv files here
+	JSONPath  string // when non-empty, write all tables as one JSON document here
 	Out       io.Writer
 }
 
@@ -141,6 +144,7 @@ func Experiments() []Experiment {
 func RunByID(id string, cfg Config) error {
 	cfg = cfg.withDefaults()
 	any := false
+	var all []*Table
 	for _, e := range Experiments() {
 		if id != "all" && e.ID != id {
 			continue
@@ -158,11 +162,54 @@ func RunByID(id string, cfg Config) error {
 				}
 			}
 		}
+		all = append(all, tables...)
 	}
 	if !any {
 		return fmt.Errorf("harness: unknown experiment %q (use 'all' or one of %s)", id, idList())
 	}
+	if cfg.JSONPath != "" {
+		if err := WriteJSON(cfg.JSONPath, id, all); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// benchDoc is the machine-readable experiment record written by WriteJSON —
+// one BENCH_*.json per run, so the repository's performance trajectory can
+// be tracked across commits and machines.
+type benchDoc struct {
+	Experiment  string   `json:"experiment"`
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Tables      []*Table `json:"tables"`
+}
+
+// WriteJSON writes the tables of one harness run as a single JSON document
+// with enough machine context to compare runs over time.
+func WriteJSON(path, experiment string, tables []*Table) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	doc := benchDoc{
+		Experiment:  experiment,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Tables:      tables,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func idList() string {

@@ -18,6 +18,51 @@ import (
 // runtime.GOMAXPROCS(0)".
 var workerOverride atomic.Int64
 
+// spawned counts worker goroutines currently spawned by For, Do and RowSweep
+// across the whole process. Together with TryAcquire it forms a global
+// spawn budget of Workers()-1 outstanding workers: callers always run one
+// chunk inline, so at most Workers() goroutines make progress at once no
+// matter how deeply parallel regions nest. An outer loop that has already
+// claimed the whole budget (a saturated batch of option pricings, say)
+// makes every inner For/Do run serially instead of oversubscribing the
+// machine with len(outer) * Workers() goroutines.
+var spawned atomic.Int64
+
+// TryAcquire claims up to max worker tokens from the global spawn budget and
+// returns how many it got (possibly zero; never blocks). Each token entitles
+// the caller to run one extra worker goroutine; the tokens must be returned
+// with Release when those workers have finished. For, Do and RowSweep
+// acquire their workers through this budget, so external schedulers (e.g.
+// the batch pricing engine) can claim tokens for their own pools and the
+// nested pricers degrade gracefully to serial execution.
+func TryAcquire(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	budget := int64(Workers() - 1)
+	for {
+		cur := spawned.Load()
+		free := budget - cur
+		if free <= 0 {
+			return 0
+		}
+		n := int64(max)
+		if n > free {
+			n = free
+		}
+		if spawned.CompareAndSwap(cur, cur+n) {
+			return int(n)
+		}
+	}
+}
+
+// Release returns n tokens claimed with TryAcquire to the spawn budget.
+func Release(n int) {
+	if n > 0 {
+		spawned.Add(-int64(n))
+	}
+}
+
 // SetWorkers sets the number of workers used by For and Do. n <= 0 restores
 // the default (GOMAXPROCS). It returns the previous override (0 if none was
 // set), so callers can restore it.
@@ -56,12 +101,21 @@ func For(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	tokens := TryAcquire(w - 1)
+	if tokens == 0 {
+		// The spawn budget is exhausted (an enclosing parallel region
+		// already keeps every worker busy): run serially.
+		body(0, n)
+		return
+	}
+	defer Release(tokens)
+	w = tokens + 1
 	// Static partition into w nearly equal chunks, each >= grain except
 	// possibly the last. Static scheduling is appropriate here: every loop
 	// body in this module is uniform-cost across the index space.
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
-	for start := 0; start < n; start += chunk {
+	for start := chunk; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
@@ -72,6 +126,9 @@ func For(n, grain int, body func(lo, hi int)) {
 			body(lo, hi)
 		}(start, end)
 	}
+	// The first chunk runs inline: the calling goroutine is itself one of
+	// the w workers and holds no token for it.
+	body(0, min(chunk, n))
 	wg.Wait()
 }
 
@@ -92,14 +149,24 @@ func Do(fns ...func()) {
 		}
 		return
 	}
+	tokens := TryAcquire(len(fns) - 1)
+	if tokens == 0 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	defer Release(tokens)
 	var wg sync.WaitGroup
-	wg.Add(len(fns) - 1)
-	for _, fn := range fns[:len(fns)-1] {
+	wg.Add(tokens)
+	for _, fn := range fns[:tokens] {
 		go func(f func()) {
 			defer wg.Done()
 			f()
 		}(fn)
 	}
-	fns[len(fns)-1]()
+	for _, fn := range fns[tokens:] {
+		fn()
+	}
 	wg.Wait()
 }

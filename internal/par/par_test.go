@@ -104,6 +104,80 @@ func TestForRespectsGrain(t *testing.T) {
 	}
 }
 
+func TestTryAcquireBudget(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	if got := TryAcquire(10); got != 3 {
+		t.Fatalf("TryAcquire(10) with 4 workers = %d, want 3", got)
+	}
+	if got := TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on exhausted budget = %d, want 0", got)
+	}
+	Release(3)
+	if got := TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) after release = %d, want 2", got)
+	}
+	Release(2)
+	if got := TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0) = %d, want 0", got)
+	}
+}
+
+func TestForRunsSerialWhenBudgetExhausted(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	tokens := TryAcquire(3)
+	if tokens != 3 {
+		t.Fatalf("setup: acquired %d tokens, want 3", tokens)
+	}
+	defer Release(tokens)
+	calls := 0
+	For(100, 1, func(lo, hi int) {
+		if lo != 0 || hi != 100 {
+			t.Errorf("exhausted budget got chunk [%d,%d), want [0,100)", lo, hi)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Errorf("For under exhausted budget made %d calls, want 1 (serial)", calls)
+	}
+	var count atomic.Int64
+	Do(func() { count.Add(1) }, func() { count.Add(1) }, func() { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("Do under exhausted budget ran %d of 3 functions", count.Load())
+	}
+}
+
+func TestNestedForStaysWithinBudget(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var live, peak atomic.Int64
+	note := func() {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+	}
+	For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(64, 1, func(ilo, ihi int) {
+				note()
+				for j := ilo; j < ihi; j++ {
+				}
+				live.Add(-1)
+			})
+		}
+	})
+	// 4 workers: the outer For plus every nested For together may keep at
+	// most Workers() bodies in flight (1 caller + Workers()-1 spawned).
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrent loop bodies %d exceeds worker budget 4", p)
+	}
+}
+
 func TestRowSweepMatchesSerial(t *testing.T) {
 	rows := 200
 	width := func(r int) int { return 300 - r }

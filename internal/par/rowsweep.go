@@ -29,6 +29,15 @@ func RowSweep(rows int, width func(row int) int, body func(row, lo, hi int)) {
 	if mx := runtime.GOMAXPROCS(0); w > mx {
 		w = mx // busy-waiting beyond real parallelism only hurts
 	}
+	// The caller only waits, so a sweep with w workers adds w-1 goroutines
+	// of net concurrency; claim those from the shared spawn budget so
+	// sweeps nested under a saturated outer region run serially.
+	tokens := 0
+	if w > 1 {
+		tokens = TryAcquire(w - 1)
+		defer Release(tokens)
+		w = tokens + 1
+	}
 	if w <= 1 {
 		for r := 0; r < rows; r++ {
 			if n := width(r); n > 0 {
