@@ -64,6 +64,12 @@ type BatchOptions struct {
 // a contract (same option, model and config) are priced once and shared, and
 // constructed lattice models are reused across requests with identical
 // lattice parameters.
+//
+// Below the engine's own caches, all workers share the process-wide
+// kernel-spectrum cache of the FFT fast path: requests that agree on lattice
+// parameters and step count (a chain's strikes on one expiry, a surface
+// repriced every tick) derive each stencil-symbol power spectrum once and
+// amortize it across the whole pool. ReadPerfCounters exposes the hit rate.
 func PriceBatch(reqs []Request, opts BatchOptions) []Result {
 	res := make([]Result, len(reqs))
 	if len(reqs) == 0 {

@@ -316,3 +316,41 @@ func TestImpliedVolRecoversVol(t *testing.T) {
 		t.Errorf("implied vol %v, want %v", iv, o.V)
 	}
 }
+
+// TestPriceBatchSharesSpectrumCache runs a batch whose contracts differ only
+// by strike, so every worker needs the same kernel spectra, concurrently.
+// All pricings must succeed, the shared spectrum cache must be exercised
+// (hits strictly increase), and results must equal a sequential repricing.
+// Run with -race: this is the intended stress of the process-wide cache.
+func TestPriceBatchSharesSpectrumCache(t *testing.T) {
+	base := defaultCall()
+	var reqs []Request
+	for i := 0; i < 24; i++ {
+		o := base
+		o.K = 100 + float64(i%6) // repeated strikes: same lattices, shared spectra
+		reqs = append(reqs, Request{Option: o, Model: Binomial, Config: Config{Steps: 3000}})
+	}
+	before := ReadPerfCounters()
+	res := PriceBatch(reqs, BatchOptions{Workers: 8})
+	after := ReadPerfCounters()
+
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		want, err := Price(reqs[i].Option, Binomial, reqs[i].Config)
+		if err != nil {
+			t.Fatalf("request %d sequential: %v", i, err)
+		}
+		if r.Price != want {
+			t.Errorf("request %d: batch price %v != sequential %v", i, r.Price, want)
+		}
+	}
+	if after.SpectrumCacheHits <= before.SpectrumCacheHits {
+		t.Errorf("spectrum cache hits did not advance: %d -> %d",
+			before.SpectrumCacheHits, after.SpectrumCacheHits)
+	}
+	if after.FFTBytesTransformed <= before.FFTBytesTransformed {
+		t.Error("FFT transform traffic counter did not advance")
+	}
+}

@@ -9,6 +9,7 @@
 package amop_test
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -17,8 +18,11 @@ import (
 	"github.com/nlstencil/amop/internal/bsm"
 	"github.com/nlstencil/amop/internal/cachesim"
 	"github.com/nlstencil/amop/internal/energy"
+	"github.com/nlstencil/amop/internal/fft"
+	"github.com/nlstencil/amop/internal/linstencil"
 	"github.com/nlstencil/amop/internal/option"
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
 	"github.com/nlstencil/amop/internal/topm"
 	"github.com/nlstencil/amop/internal/trace"
 )
@@ -33,6 +37,7 @@ const (
 
 func BenchmarkFig5aFFTBopm(b *testing.B) {
 	m := mustBOPM(b, benchT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.PriceFast(); err != nil {
@@ -43,6 +48,7 @@ func BenchmarkFig5aFFTBopm(b *testing.B) {
 
 func BenchmarkFig5aQlBopm(b *testing.B) {
 	m := mustBOPM(b, benchT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceNaiveParallel(option.Call)
@@ -51,6 +57,7 @@ func BenchmarkFig5aQlBopm(b *testing.B) {
 
 func BenchmarkFig5aZbBopm(b *testing.B) {
 	m := mustBOPM(b, benchT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceTiled(option.Call, 0, 0)
@@ -59,6 +66,7 @@ func BenchmarkFig5aZbBopm(b *testing.B) {
 
 func BenchmarkTable2RecursiveBopm(b *testing.B) {
 	m := mustBOPM(b, benchT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceRecursive(option.Call)
@@ -67,6 +75,7 @@ func BenchmarkTable2RecursiveBopm(b *testing.B) {
 
 func BenchmarkTable2SerialNaiveBopm(b *testing.B) {
 	m := mustBOPM(b, benchT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceNaive(option.Call)
@@ -80,6 +89,7 @@ func BenchmarkFig5bFFTTopm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.PriceFast(); err != nil {
@@ -93,6 +103,7 @@ func BenchmarkFig5bVanillaTopm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceNaiveParallel(option.Call)
@@ -106,6 +117,7 @@ func BenchmarkFig5cFFTBsm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.PriceFast(); err != nil {
@@ -119,6 +131,7 @@ func BenchmarkFig5cVanillaBsm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceNaiveParallel()
@@ -131,6 +144,7 @@ func benchWorkers(b *testing.B, p int) {
 	m := mustBOPM(b, benchScalT)
 	prev := par.SetWorkers(p)
 	defer par.SetWorkers(prev)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.PriceFast(); err != nil {
@@ -148,6 +162,7 @@ func BenchmarkTable5QlBopmP1(b *testing.B) {
 	m := mustBOPM(b, benchScalT)
 	prev := par.SetWorkers(1)
 	defer par.SetWorkers(prev)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceNaiveParallel(option.Call)
@@ -158,6 +173,7 @@ func BenchmarkTable5QlBopmP1(b *testing.B) {
 
 func benchTraced(b *testing.B, run func(h *cachesim.Hierarchy)) {
 	em := energy.Skylake()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h := cachesim.NewSKX()
@@ -225,6 +241,7 @@ func BenchmarkFig67TracedVanillaBsm(b *testing.B) {
 
 func BenchmarkBermudanQuarterly(b *testing.B) {
 	o := amop.Option{Type: amop.Put, S: 127.62, K: 130, R: 0.00163, V: 0.2, Y: 0.0163, E: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := amop.PriceBermudan(o, benchT, benchT/4); err != nil {
@@ -235,6 +252,7 @@ func BenchmarkBermudanQuarterly(b *testing.B) {
 
 func BenchmarkEuropeanFFT(b *testing.B) {
 	m := mustBOPM(b, benchT)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PriceEuropean(option.Call)
@@ -243,11 +261,92 @@ func BenchmarkEuropeanFFT(b *testing.B) {
 
 func BenchmarkGreeks(b *testing.B) {
 	o := amop.Option{Type: amop.Call, S: 127.62, K: 130, R: 0.00163, V: 0.2, Y: 0.0163, E: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := amop.GreeksAmerican(o, 1<<12); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Fast-path micro-benchmarks ----------------------------------------------
+//
+// The real-input FFT and the kernel-spectrum cache are the two levers behind
+// the fast solvers' constants; these pin their time and allocation behavior
+// at a representative size so wins (or regressions) in either show up in
+// `go test -bench` directly, next to the solver-level numbers they feed.
+
+// BenchmarkEvolveCone measures one 64K-row, 16K-step linear evolution — the
+// exact call shape the trapezoid recursion issues — on the real-input cached
+// path, recycling the result row as the solvers do.
+func BenchmarkEvolveCone(b *testing.B) {
+	s := linstencil.Stencil{MinOff: 0, W: []float64{0.48, 0.51}}
+	n := 1 << 16
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = math.Sin(float64(i))
+	}
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := linstencil.EvolveCone(row, s, n/4)
+		scratch.PutFloats(out)
+	}
+}
+
+// BenchmarkEvolveConeComplex is the legacy full-complex, uncached path on the
+// same instance, kept benchmarked so the fast path's margin is tracked rather
+// than asserted.
+func BenchmarkEvolveConeComplex(b *testing.B) {
+	s := linstencil.Stencil{MinOff: 0, W: []float64{0.48, 0.51}}
+	n := 1 << 16
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = math.Sin(float64(i))
+	}
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linstencil.EvolveConeComplex(row, s, n/4)
+	}
+}
+
+// BenchmarkRealFFT measures a forward+inverse real round trip at 256K;
+// compare against BenchmarkComplexFFT for the half-transform win.
+func BenchmarkRealFFT(b *testing.B) {
+	n := 1 << 18
+	rp := fft.RPlanFor(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	spec := make([]complex128, rp.HalfLen())
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.Forward(x, spec)
+		rp.Inverse(spec, x)
+	}
+}
+
+// BenchmarkComplexFFT is the complex-plan round trip at the same size.
+func BenchmarkComplexFFT(b *testing.B) {
+	n := 1 << 18
+	p := fft.PlanFor(n)
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(math.Cos(float64(i)), 0)
+	}
+	b.SetBytes(int64(16 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(a)
+		p.Inverse(a)
 	}
 }
 
@@ -278,6 +377,7 @@ func chainRequests() []amop.Request {
 
 func BenchmarkBatchEngine(b *testing.B) {
 	reqs := chainRequests()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, r := range amop.PriceBatch(reqs, amop.BatchOptions{}) {
@@ -290,6 +390,7 @@ func BenchmarkBatchEngine(b *testing.B) {
 
 func BenchmarkBatchNaiveFanout(b *testing.B) {
 	reqs := chainRequests()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prices := make([]float64, len(reqs))

@@ -32,12 +32,37 @@ import (
 
 	"github.com/nlstencil/amop/internal/linstencil"
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
 )
+
+// Buffer discipline: every row segment, staging window, and zone buffer the
+// solvers churn through comes from internal/scratch's size-classed pools and
+// is returned there the moment its last reader is done — the recursion used
+// to make-and-drop a fresh slice at every level, which at T = 10^5+ made the
+// allocator and GC a measurable slice of the solve. The ownership rules are:
+//
+//   - EvolveCone results, zone outputs, and naiveStep rows are owned by their
+//     caller, which recycles them after merging them into the next segment;
+//   - functions never recycle their *input* segment — inputs may be
+//     subslices of a buffer another parallel branch is still reading (see
+//     halfStep) — except for exactFirstStep, which by contract consumes it;
+//   - buffers whose front gets trimmed (the boundary ate a prefix) lose
+//     their power-of-two capacity and are dropped by scratch.PutFloats
+//     automatically; correctness never depends on a Put succeeding.
 
 // DefaultBaseCase is the recursion cutoff height below which trapezoids are
 // solved by the direct loop. The paper reports a base case of 8 steps
 // performing best; our default is close and can be overridden per problem.
 const DefaultBaseCase = 8
+
+// parCutoff is the trapezoid height below which the FFT half and the
+// boundary-side recursion run sequentially instead of through par.Do: under
+// ~this much work the fork-join costs more — goroutine spawn, plus the
+// closure and capture-box allocations the fork forces on every call — than
+// the parallelism returns. The deep, numerous small trapezoids all take the
+// allocation-free serial path; the few large ones near the top of the
+// recursion keep the paper's parallel span.
+const parCutoff = 64
 
 // Stats collects work counters from a solve. Counters are updated atomically
 // and may be shared between concurrent solves. A nil *Stats disables
@@ -148,7 +173,7 @@ func SolveGreenRight(p *GreenRight, st *Stats) (float64, int, error) {
 	bnd := min(p.Bnd0, p.Hi0)
 	var seg []float64 // red values, columns [0, bnd]
 	if bnd >= 0 {
-		seg = make([]float64, bnd+1)
+		seg = scratch.Floats(bnd + 1)
 		for j := range seg {
 			seg[j] = p.Init(j)
 		}
@@ -167,38 +192,48 @@ func SolveGreenRight(p *GreenRight, st *Stats) (float64, int, error) {
 	for d < p.T {
 		if bnd < 0 {
 			// The whole row is green; since the boundary never moves right,
-			// every later row (and the apex) is green too.
+			// every later row (and the apex) is green too. seg here is at
+			// most a zero-length stub, but its pooled backing array can be
+			// row-sized.
+			scratch.PutFloats(seg)
 			return p.Green(p.T, 0), -1, nil
 		}
 		remaining := p.T - d
+		old := seg
 		h := min((bnd+1)/e.r, remaining)
 		if h >= e.base {
 			seg, bnd = e.solveTrap(seg, 0, bnd, d, h)
 			d += h
-			continue
+		} else {
+			// Red strip too short for a trapezoid (or nearly done): one
+			// direct step. The strip has fewer than r*base red cells, so
+			// this is O(1) per step.
+			seg, bnd = e.naiveStep(seg, 0, bnd, d)
+			d++
 		}
-		// Red strip too short for a trapezoid (or nearly done): one direct
-		// step. The strip has fewer than r*base red cells, so this is O(1)
-		// per step.
-		seg, bnd = e.naiveStep(seg, 0, bnd, d)
-		d++
+		scratch.PutFloats(old) // both paths return fresh rows, never aliases
 	}
 	if bnd < 0 {
+		scratch.PutFloats(seg)
 		return p.Green(p.T, 0), -1, nil
 	}
-	return seg[0], bnd, nil
+	apex := seg[0]
+	scratch.PutFloats(seg)
+	return apex, bnd, nil
 }
 
 // exactFirstStep advances the initial row to depth 1 across the full cone
 // width, classifying every cell, and returns the depth-1 red prefix and its
-// exact boundary. Cost O(Hi0), paid once per solve.
+// exact boundary. Cost O(Hi0), paid once per solve. It consumes (recycles)
+// its input segment.
 func (e *grEngine) exactFirstStep(seg []float64, bnd int) ([]float64, int) {
+	defer scratch.PutFloats(seg)
 	read := e.readRow(seg, 0, bnd, 0)
 	hi1 := e.hi(1)
 	if hi1 < 0 {
 		return nil, -1
 	}
-	vals := make([]float64, hi1+1)
+	vals := scratch.Floats(hi1 + 1)
 	red := make([]bool, hi1+1)
 	par.For(hi1+1, 512, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
@@ -237,21 +272,29 @@ func (e *grEngine) readRow(seg []float64, c0, bnd, depth int) func(col int) floa
 	}
 }
 
+// at is readRow without the closure: naiveStep runs once per direct step, and
+// a per-call closure allocation there is pure overhead.
+func (e *grEngine) at(seg []float64, c0, bnd, depth, col int) float64 {
+	if col <= bnd {
+		return seg[col-c0]
+	}
+	return e.green(depth, col)
+}
+
 // naiveStep advances the red segment [c0, bnd] at depth d by one step,
 // returning the red segment at depth d+1 (still starting at c0) and the new
 // boundary. The candidate red region never extends beyond min(bnd, hi(d+1)).
 func (e *grEngine) naiveStep(seg []float64, c0, bnd, d int) ([]float64, int) {
-	read := e.readRow(seg, c0, bnd, d)
 	cap1 := min(bnd, e.hi(d+1))
 	if cap1 < c0 {
 		return nil, c0 - 1
 	}
-	next := make([]float64, cap1-c0+1)
+	next := scratch.Floats(cap1 - c0 + 1)
 	newBnd := c0 - 1
 	for j := c0; j <= cap1; j++ {
 		var lin float64
 		for i, w := range e.s.W {
-			lin += w * read(j+i)
+			lin += w * e.at(seg, c0, bnd, d, j+i)
 		}
 		g := e.green(d+1, j)
 		if lin >= g {
@@ -269,11 +312,19 @@ func (e *grEngine) naiveStep(seg []float64, c0, bnd, d int) ([]float64, int) {
 	return next, newBnd
 }
 
-// naiveBlock advances the red segment h steps with the direct loop.
+// naiveBlock advances the red segment h steps with the direct loop. The
+// input segment is the caller's (possibly a shared subslice); intermediate
+// rows are recycled as they are consumed.
 func (e *grEngine) naiveBlock(seg []float64, c0, bnd, d, h int) ([]float64, int) {
+	owned := false
 	for t := 0; t < h; t++ {
-		seg, bnd = e.naiveStep(seg, c0, bnd, d+t)
+		next, nb := e.naiveStep(seg, c0, bnd, d+t)
+		if owned {
+			scratch.PutFloats(seg)
+		}
+		seg, bnd, owned = next, nb, true
 		if bnd < c0 {
+			scratch.PutFloats(seg) // possibly a zero-length stub row
 			return nil, bnd
 		}
 	}
@@ -296,25 +347,62 @@ func (e *grEngine) solveTrap(seg []float64, c0, bnd, d, h int) ([]float64, int) 
 	if midBnd < c0 {
 		return nil, midBnd
 	}
+	var out []float64
+	var outBnd int
 	// Defensive: theory guarantees midBnd >= bnd-h1, so the invariant
 	// (red count >= r*h2) holds; fall back to the always-correct direct
 	// loop if floating-point ties ever break it.
 	if midBnd-c0+1 < e.r*h2 {
-		return e.naiveBlock(mid, c0, midBnd, d+h1, h2)
+		out, outBnd = e.naiveBlock(mid, c0, midBnd, d+h1, h2)
+	} else {
+		out, outBnd = e.halfStep(mid, c0, midBnd, d+h1, h2)
 	}
-	return e.halfStep(mid, c0, midBnd, d+h1, h2)
+	scratch.PutFloats(mid)
+	return out, outBnd
 }
 
 // halfStep advances the red segment [c0, bnd] at depth d by k steps, where
 // the caller guarantees bnd-c0+1 >= r*k: the columns [c0, bnd-r*k] come from
 // one FFT evolution (they are guaranteed red and their dependency cones are
 // all red), the rest from a recursive trapezoid of height k anchored at the
-// boundary.
+// boundary. Below parCutoff the two halves run sequentially; above it they
+// fork, matching the paper's span analysis (Theorem 2.8).
 func (e *grEngine) halfStep(seg []float64, c0, bnd, d, k int) ([]float64, int) {
 	cut := bnd - e.r*k // last FFT-exact column at depth d+k
 	var left []float64
 	var right []float64
-	rightBnd := cut
+	var rightBnd int
+	if k <= parCutoff {
+		if cut >= c0 {
+			left, _ = linstencil.EvolveCone(seg[:bnd-c0+1], e.s, k)
+			e.stats.addFFT(len(left))
+		}
+		right, rightBnd = e.solveTrap(seg[cut+1-c0:], cut+1, bnd, d, k)
+	} else {
+		left, right, rightBnd = e.halfStepPar(seg, c0, bnd, d, k, cut)
+	}
+	if rightBnd <= cut {
+		// Boundary consumed the whole recursive part; red region is just
+		// the FFT prefix (possibly trimmed if the boundary moved past cut,
+		// which theory forbids — keep the exact cells we have).
+		scratch.PutFloats(right) // at most a zero-length stub
+		if cut < c0 {
+			scratch.PutFloats(left)
+			return nil, c0 - 1
+		}
+		return left, cut
+	}
+	merged := scratch.Floats(rightBnd - c0 + 1)
+	copy(merged, left)
+	copy(merged[cut+1-c0:], right)
+	scratch.PutFloats(left)
+	scratch.PutFloats(right)
+	return merged, rightBnd
+}
+
+// halfStepPar is halfStep's fork: isolated in its own function so the serial
+// path never pays for the closures' capture boxes.
+func (e *grEngine) halfStepPar(seg []float64, c0, bnd, d, k, cut int) (left, right []float64, rightBnd int) {
 	par.Do(
 		func() {
 			if cut >= c0 {
@@ -326,19 +414,7 @@ func (e *grEngine) halfStep(seg []float64, c0, bnd, d, k int) ([]float64, int) {
 			right, rightBnd = e.solveTrap(seg[cut+1-c0:], cut+1, bnd, d, k)
 		},
 	)
-	if rightBnd <= cut {
-		// Boundary consumed the whole recursive part; red region is just
-		// the FFT prefix (possibly trimmed if the boundary moved past cut,
-		// which theory forbids — keep the exact cells we have).
-		if cut < c0 {
-			return nil, c0 - 1
-		}
-		return left, cut
-	}
-	merged := make([]float64, rightBnd-c0+1)
-	copy(merged, left)
-	copy(merged[cut+1-c0:], right)
-	return merged, rightBnd
+	return left, right, rightBnd
 }
 
 // ---------------------------------------------------------------------------
@@ -415,7 +491,7 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 	if bnd < p.Hi0 {
 		from := max(bnd+1, p.Lo0)
 		bnd = from - 1
-		seg = make([]float64, p.Hi0-from+1)
+		seg = scratch.Floats(p.Hi0 - from + 1)
 		for j := range seg {
 			seg[j] = p.Init(from + j)
 		}
@@ -437,6 +513,7 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 		if bnd >= e.hi(d) {
 			// Entire row green; stays green to the apex (boundary is
 			// non-increasing while the right edge shrinks every step).
+			scratch.PutFloats(seg)
 			return p.Green(p.T, apex), bnd, nil
 		}
 		remaining := p.T - d
@@ -445,11 +522,16 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 			out, _ := linstencil.EvolveCone(seg, e.s, remaining)
 			e.stats.addFFT(len(out))
 			// out[0] is column (bnd+1)+remaining; the apex is lo(d)+remaining.
-			return out[e.lo(d)-(bnd+1)], bnd, nil
+			v := out[e.lo(d)-(bnd+1)]
+			scratch.PutFloats(out)
+			scratch.PutFloats(seg)
+			return v, bnd, nil
 		}
 		h := min(remaining/2, (e.hi(d)-bnd)/2)
 		if h < e.base {
+			old := seg
 			seg, bnd = e.naiveStepC(seg, bnd, d)
+			scratch.PutFloats(old)
 			d++
 			continue
 		}
@@ -462,41 +544,49 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 			func() {
 				// Exact for columns >= bnd+h: base row [bnd, hi(d)]
 				// (column bnd is green closed form, the rest stored red).
-				in := make([]float64, e.hi(d)-bnd+1)
+				in := scratch.Floats(e.hi(d) - bnd + 1)
 				in[0] = e.green(d, bnd)
 				copy(in[1:], seg)
 				rightVals, _ = linstencil.EvolveCone(in, e.s, h)
+				scratch.PutFloats(in)
 				e.stats.addFFT(len(rightVals))
 			},
 		)
 		// rightVals[0] is column bnd+h; zoneVals covers [bnd-h, bnd+h].
 		newHi := e.hi(d + h)
-		newSeg := make([]float64, newHi-newBnd)
+		newSeg := scratch.Floats(newHi - newBnd)
 		for j := newBnd + 1; j <= bnd+h; j++ {
 			newSeg[j-newBnd-1] = zoneVals[j-(bnd-h)]
 		}
 		copy(newSeg[bnd+h+1-(newBnd+1):], rightVals[1:])
+		scratch.PutFloats(zoneVals)
+		scratch.PutFloats(rightVals)
+		scratch.PutFloats(seg)
 		seg, bnd = newSeg, newBnd
 		d += h
 	}
 	if apex > bnd {
-		return seg[apex-(bnd+1)], bnd, nil
+		v := seg[apex-(bnd+1)]
+		scratch.PutFloats(seg)
+		return v, bnd, nil
 	}
+	scratch.PutFloats(seg)
 	return p.Green(p.T, apex), bnd, nil
 }
 
 // exactFirstStep advances the initial row to depth 1 across the full cone
 // width, classifying every cell, and returns the depth-1 red segment
 // (columns [newBnd+1, hi(1)]) with its exact boundary. Cost O(Hi0-Lo0),
-// paid once per solve.
+// paid once per solve. It consumes (recycles) its input segment.
 func (e *glEngine) exactFirstStep(seg []float64, bnd int) ([]float64, int) {
+	defer scratch.PutFloats(seg)
 	read := e.readRowC(seg, bnd, 0)
 	lo1, hi1 := e.lo(1), e.hi(1)
 	n := hi1 - lo1 + 1
 	if n <= 0 {
 		return nil, bnd
 	}
-	vals := make([]float64, n)
+	vals := scratch.Floats(n)
 	isGreen := make([]bool, n)
 	w := e.s.W
 	par.For(n, 512, func(clo, chi int) {
@@ -535,13 +625,20 @@ func (e *glEngine) readRowC(seg []float64, bnd, depth int) func(col int) float64
 	}
 }
 
+// at is readRowC without the closure, for the per-step direct loop.
+func (e *glEngine) at(seg []float64, bnd, depth, col int) float64 {
+	if col > bnd {
+		return seg[col-bnd-1]
+	}
+	return e.green(depth, col)
+}
+
 // naiveStepC advances the stored red segment one step. Cost is O(hi-bnd),
 // which the caller only pays when that gap (or the remaining depth) is small.
 func (e *glEngine) naiveStepC(seg []float64, bnd, d int) ([]float64, int) {
-	read := e.readRowC(seg, bnd, d)
 	newHi := e.hi(d + 1)
 	lo := max(bnd, e.lo(d+1)) // candidate columns: boundary moves left <= 1
-	next := make([]float64, newHi-lo+1)
+	next := scratch.Floats(newHi - lo + 1)
 	// By Theorem 4.3 the new boundary is bnd or bnd-1; if bnd lies left of
 	// the cone it is unreachable and simply carried along.
 	newBnd := bnd - 1
@@ -549,7 +646,7 @@ func (e *glEngine) naiveStepC(seg []float64, bnd, d int) ([]float64, int) {
 		newBnd = bnd
 	}
 	for j := lo; j <= newHi; j++ {
-		lin := e.s.W[0]*read(j-1) + e.s.W[1]*read(j) + e.s.W[2]*read(j+1)
+		lin := e.s.W[0]*e.at(seg, bnd, d, j-1) + e.s.W[1]*e.at(seg, bnd, d, j) + e.s.W[2]*e.at(seg, bnd, d, j+1)
 		g := e.green(d+1, j)
 		if g > lin {
 			next[j-lo] = g
@@ -579,22 +676,10 @@ func (e *glEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int) 
 	h1 := h / 2
 	h2 := h - h1
 
-	var midZone []float64
-	var midBnd int
-	var midRight []float64
-	par.Do(
-		func() { midZone, midBnd = e.zone(read, d, bnd, h1) },
-		func() {
-			// Columns [bnd+h1, bnd+2h-h1] at depth d+h1 from one FFT over
-			// base columns [bnd, bnd+2h].
-			in := make([]float64, 2*h+1)
-			for j := 0; j <= 2*h; j++ {
-				in[j] = read(bnd + j)
-			}
-			midRight, _ = linstencil.EvolveCone(in, e.s, h1)
-			e.stats.addFFT(len(midRight))
-		},
-	)
+	// First half: the zone recursion and, alongside it, columns
+	// [bnd+h1, bnd+2h-h1] at depth d+h1 from one FFT over base columns
+	// [bnd, bnd+2h].
+	midZone, midBnd, midRight := e.zoneSplit(read, d, bnd, h, h1, bnd, 2*h+1)
 	// Mid row accessor on columns [bnd-h1, bnd+2h-h1] (and green beyond the
 	// left edge).
 	midRead := func(col int) float64 {
@@ -608,25 +693,13 @@ func (e *glEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int) 
 		}
 	}
 
-	var botZone []float64
-	var newBnd int
-	var botRight []float64
-	par.Do(
-		func() { botZone, newBnd = e.zone(midRead, d+h1, midBnd, h2) },
-		func() {
-			// Columns [midBnd+h2, bnd+h] at depth d+h from one FFT over mid
-			// columns [midBnd, bnd+2h-h1].
-			n := bnd + 2*h - h1 - midBnd + 1
-			in := make([]float64, n)
-			for j := 0; j < n; j++ {
-				in[j] = midRead(midBnd + j)
-			}
-			botRight, _ = linstencil.EvolveCone(in, e.s, h2)
-			e.stats.addFFT(len(botRight))
-		},
-	)
+	// Second half: columns [midBnd+h2, bnd+h] at depth d+h from one FFT over
+	// mid columns [midBnd, bnd+2h-h1].
+	botZone, newBnd, botRight := e.zoneSplit(midRead, d+h1, midBnd, h, h2, midBnd, bnd+2*h-h1-midBnd+1)
+	scratch.PutFloats(midZone)
+	scratch.PutFloats(midRight)
 
-	out := make([]float64, 2*h+1)
+	out := scratch.Floats(2*h + 1)
 	for j := bnd - h; j <= bnd+h; j++ {
 		switch {
 		case j <= newBnd:
@@ -637,21 +710,58 @@ func (e *glEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int) 
 			out[j-(bnd-h)] = botRight[j-(midBnd+h2)]
 		}
 	}
+	scratch.PutFloats(botZone)
+	scratch.PutFloats(botRight)
 	return out, newBnd
 }
 
+// zoneFFT evolves the closed-under-read window [base, base+count) by steps
+// with one staged FFT call.
+func (e *glEngine) zoneFFT(read func(int) float64, base, count, steps int) []float64 {
+	in := scratch.Floats(count)
+	for j := 0; j < count; j++ {
+		in[j] = read(base + j)
+	}
+	out, _ := linstencil.EvolveCone(in, e.s, steps)
+	scratch.PutFloats(in)
+	e.stats.addFFT(len(out))
+	return out
+}
+
+// zoneSplit runs one half of the zone recursion — the boundary-band subzone
+// of height hh and the exact FFT strip beside it — sequentially below
+// parCutoff, forked above it. h is the parent zone height (used only for the
+// cutoff decision); base/count describe the FFT staging window.
+func (e *glEngine) zoneSplit(read func(int) float64, d, bnd, h, hh, base, count int) ([]float64, int, []float64) {
+	if h <= parCutoff {
+		z, nb := e.zone(read, d, bnd, hh)
+		return z, nb, e.zoneFFT(read, base, count, hh)
+	}
+	return e.zoneSplitPar(read, d, bnd, hh, base, count)
+}
+
+func (e *glEngine) zoneSplitPar(read func(int) float64, d, bnd, hh, base, count int) (z []float64, nb int, fftOut []float64) {
+	par.Do(
+		func() { z, nb = e.zone(read, d, bnd, hh) },
+		func() { fftOut = e.zoneFFT(read, base, count, hh) },
+	)
+	return z, nb, fftOut
+}
+
 // zoneNaive is the direct base case of zone: evolve the shrinking window
-// [bnd-2h+t, bnd+2h-t] step by step, tracking the boundary.
+// [bnd-2h+t, bnd+2h-t] step by step, tracking the boundary. The two window
+// buffers ping-pong from the scratch pool; the one not returned goes back.
 func (e *glEngine) zoneNaive(read func(int) float64, d, bnd, h int) ([]float64, int) {
 	lo, hi := bnd-2*h, bnd+2*h
-	cur := make([]float64, hi-lo+1)
+	cur := scratch.Floats(hi - lo + 1)
 	for j := lo; j <= hi; j++ {
 		cur[j-lo] = read(j)
 	}
+	spare := scratch.Floats(hi - lo + 1)
 	b := bnd
 	for t := 1; t <= h; t++ {
 		nlo, nhi := lo+1, hi-1
-		next := make([]float64, nhi-nlo+1)
+		next := spare[:nhi-nlo+1]
 		newB := b - 1 // boundary moves left at most one per step
 		for j := nlo; j <= nhi; j++ {
 			lin := e.s.W[0]*cur[j-1-lo] + e.s.W[1]*cur[j-lo] + e.s.W[2]*cur[j+1-lo]
@@ -666,8 +776,9 @@ func (e *glEngine) zoneNaive(read func(int) float64, d, bnd, h int) ([]float64, 
 			}
 		}
 		e.stats.addNaive(nhi - nlo + 1)
-		cur, lo, hi, b = next, nlo, nhi, newB
+		cur, spare, lo, hi, b = next, cur, nlo, nhi, newB
 	}
+	scratch.PutFloats(spare)
 	return cur, b
 }
 

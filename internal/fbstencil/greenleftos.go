@@ -5,6 +5,7 @@ import (
 
 	"github.com/nlstencil/amop/internal/linstencil"
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
 )
 
 // This file extends the paper: a fast solver for one-sided stencils whose
@@ -94,7 +95,7 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 	// seg stores red values, columns [bnd+1, hi(d)].
 	var seg []float64
 	if bnd < p.Hi0 {
-		seg = make([]float64, p.Hi0-bnd)
+		seg = scratch.Floats(p.Hi0 - bnd)
 		for j := range seg {
 			seg[j] = p.Init(bnd + 1 + j)
 		}
@@ -112,6 +113,7 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 		if bnd >= e.hi(d) {
 			// Entirely green; since the boundary never rises while the
 			// right edge shrinks, every later row (and the apex) is green.
+			scratch.PutFloats(seg)
 			return p.Green(p.T, 0), bnd, nil
 		}
 		remaining := p.T - d
@@ -119,11 +121,16 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 			// Entirely red: one FFT evolution reaches the apex.
 			out, _ := linstencil.EvolveCone(seg, e.s, remaining)
 			e.stats.addFFT(len(out))
-			return out[0], bnd, nil
+			v := out[0]
+			scratch.PutFloats(out)
+			scratch.PutFloats(seg)
+			return v, bnd, nil
 		}
 		h := min(remaining, (e.hi(d)-bnd)/e.r)
 		if h < e.base {
+			old := seg
 			seg, bnd = e.naiveStep(seg, bnd, d)
+			scratch.PutFloats(old)
 			d++
 			continue
 		}
@@ -145,19 +152,25 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 		// zoneVals covers [bnd-drop*h, bnd] at depth d+h; rightVals covers
 		// (bnd, hi(d)-r*h].
 		newHi := e.hi(d + h)
-		newSeg := make([]float64, newHi-newBnd)
+		newSeg := scratch.Floats(newHi - newBnd)
 		for j := newBnd + 1; j <= bnd; j++ {
 			newSeg[j-newBnd-1] = zoneVals[j-(bnd-e.drop*h)]
 		}
 		copy(newSeg[bnd-newBnd:], rightVals)
+		scratch.PutFloats(zoneVals)
+		scratch.PutFloats(rightVals)
+		scratch.PutFloats(seg)
 		seg, bnd = newSeg, newBnd
 		d += h
 	}
 	if bnd >= 0 {
 		// Apex column 0 lies at or left of the boundary: green.
+		scratch.PutFloats(seg)
 		return p.Green(p.T, 0), bnd, nil
 	}
-	return seg[0], bnd, nil
+	v := seg[0]
+	scratch.PutFloats(seg)
+	return v, bnd, nil
 }
 
 // readRow gives row access at the stated depth: stored red right of bnd,
@@ -171,14 +184,16 @@ func (e *glosEngine) readRow(seg []float64, bnd, depth int) func(col int) float6
 	}
 }
 
-// exactFirstStep computes the full depth-1 row and its exact boundary.
+// exactFirstStep computes the full depth-1 row and its exact boundary. It
+// consumes (recycles) its input segment.
 func (e *glosEngine) exactFirstStep(seg []float64, bnd int) ([]float64, int) {
+	defer scratch.PutFloats(seg)
 	read := e.readRow(seg, bnd, 0)
 	hi1 := e.hi(1)
 	if hi1 < 0 {
 		return nil, -1
 	}
-	vals := make([]float64, hi1+1)
+	vals := scratch.Floats(hi1 + 1)
 	isGreen := make([]bool, hi1+1)
 	par.For(hi1+1, 512, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
@@ -206,34 +221,44 @@ func (e *glosEngine) exactFirstStep(seg []float64, bnd int) ([]float64, int) {
 	return vals[newBnd+1:], newBnd
 }
 
+// at is readRow without the closure, for the per-step direct loop.
+func (e *glosEngine) at(seg []float64, bnd, depth, col int) float64 {
+	if col > bnd {
+		return seg[col-bnd-1]
+	}
+	return e.green(depth, col)
+}
+
+// cellAt computes cell (d+1, j) from the depth-d row and reports whether the
+// closed form won.
+func (e *glosEngine) cellAt(seg []float64, bnd, d, j int) (float64, bool) {
+	var lin float64
+	for i, w := range e.s.W {
+		lin += w * e.at(seg, bnd, d, j+i)
+	}
+	if g := e.green(d+1, j); g > lin {
+		return g, true
+	}
+	return lin, false
+}
+
 // naiveStep advances the stored red segment one step. It relies only on
 // green-prefix contiguity: the boundary is located by walking down from the
 // previous one, so the cost is O(red width + boundary movement).
 func (e *glosEngine) naiveStep(seg []float64, bnd, d int) ([]float64, int) {
-	read := e.readRow(seg, bnd, d)
 	newHi := e.hi(d + 1)
-	cell := func(j int) (float64, bool) {
-		var lin float64
-		for i, w := range e.s.W {
-			lin += w * read(j+i)
-		}
-		if g := e.green(d+1, j); g > lin {
-			return g, true
-		}
-		return lin, false
-	}
 	newBnd := min(bnd, newHi)
 	cells := 0
 	for newBnd >= 0 {
 		cells++
-		if _, green := cell(newBnd); green {
+		if _, green := e.cellAt(seg, bnd, d, newBnd); green {
 			break
 		}
 		newBnd--
 	}
-	next := make([]float64, newHi-newBnd)
+	next := scratch.Floats(newHi - newBnd)
 	for j := newBnd + 1; j <= newHi; j++ {
-		v, _ := cell(j)
+		v, _ := e.cellAt(seg, bnd, d, j)
 		next[j-newBnd-1] = v
 	}
 	e.stats.addNaive(cells + len(next))
@@ -249,7 +274,7 @@ func (e *glosEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int
 		// No green cells remain, so the whole band consists of virtual
 		// columns; return closed-form filler (never read by any real cell)
 		// and keep the boundary dead.
-		out := make([]float64, e.drop*h+1)
+		out := scratch.Floats(e.drop*h + 1)
 		for i := range out {
 			out[i] = e.green(d+h, bnd-e.drop*h+i)
 		}
@@ -262,22 +287,9 @@ func (e *glosEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int
 	h2 := h - h1
 	r := e.r
 
-	var zoneA []float64
-	var midBnd int
-	var midRight []float64
-	par.Do(
-		func() { zoneA, midBnd = e.zone(read, d, bnd, h1) },
-		func() {
-			// Cells (bnd, bnd+r*h2] at depth d+h1 from base columns
-			// (bnd, bnd+r*h].
-			in := make([]float64, r*h)
-			for j := 0; j < r*h; j++ {
-				in[j] = read(bnd + 1 + j)
-			}
-			midRight, _ = linstencil.EvolveCone(in, e.s, h1)
-			e.stats.addFFT(len(midRight))
-		},
-	)
+	// First half: the boundary subzone and cells (bnd, bnd+r*h2] at depth
+	// d+h1 from base columns (bnd, bnd+r*h].
+	zoneA, midBnd, midRight := e.zoneSplit(read, d, bnd, h, h1, bnd+1, r*h)
 	midRead := func(col int) float64 {
 		switch {
 		case col <= midBnd:
@@ -289,30 +301,19 @@ func (e *glosEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int
 		}
 	}
 
-	var zoneB []float64
-	var newBnd int
-	var botRight []float64
-	par.Do(
-		func() { zoneB, newBnd = e.zone(midRead, d+h1, midBnd, h2) },
-		func() {
-			// Cells (midBnd, bnd] at depth d+h from mid columns
-			// (midBnd, bnd+r*h2]. Empty when the boundary did not move in
-			// the first half (midBnd == bnd).
-			if midBnd >= bnd {
-				return
-			}
-			n := bnd + r*h2 - midBnd
-			in := make([]float64, n)
-			for j := 0; j < n; j++ {
-				in[j] = midRead(midBnd + 1 + j)
-			}
-			botRight, _ = linstencil.EvolveCone(in, e.s, h2)
-			e.stats.addFFT(len(botRight))
-		},
-	)
+	// Second half: cells (midBnd, bnd] at depth d+h from mid columns
+	// (midBnd, bnd+r*h2]. The FFT strip is empty when the boundary did not
+	// move in the first half (midBnd == bnd).
+	fftCount := 0
+	if midBnd < bnd {
+		fftCount = bnd + r*h2 - midBnd
+	}
+	zoneB, newBnd, botRight := e.zoneSplit(midRead, d+h1, midBnd, h, h2, midBnd+1, fftCount)
+	scratch.PutFloats(zoneA)
+	scratch.PutFloats(midRight)
 
 	lo := bnd - e.drop*h
-	out := make([]float64, e.drop*h+1) // columns [bnd-drop*h, bnd]
+	out := scratch.Floats(e.drop*h + 1) // columns [bnd-drop*h, bnd]
 	for j := lo; j <= bnd; j++ {
 		switch {
 		case j <= newBnd:
@@ -323,20 +324,59 @@ func (e *glosEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int
 			out[j-lo] = botRight[j-(midBnd+1)]
 		}
 	}
+	scratch.PutFloats(zoneB)
+	scratch.PutFloats(botRight)
 	return out, newBnd
 }
 
+// zoneFFT evolves the window [base, base+count) by steps with one staged FFT
+// call; a zero count returns nil (the strip is empty).
+func (e *glosEngine) zoneFFT(read func(int) float64, base, count, steps int) []float64 {
+	if count <= 0 {
+		return nil
+	}
+	in := scratch.Floats(count)
+	for j := 0; j < count; j++ {
+		in[j] = read(base + j)
+	}
+	out, _ := linstencil.EvolveCone(in, e.s, steps)
+	scratch.PutFloats(in)
+	e.stats.addFFT(len(out))
+	return out
+}
+
+// zoneSplit runs one half of the zone recursion — the boundary subzone of
+// height hh and the exact FFT strip beside it — sequentially below parCutoff,
+// forked above it. h is the parent zone height (cutoff decision only).
+func (e *glosEngine) zoneSplit(read func(int) float64, d, bnd, h, hh, base, count int) ([]float64, int, []float64) {
+	if h <= parCutoff {
+		z, nb := e.zone(read, d, bnd, hh)
+		return z, nb, e.zoneFFT(read, base, count, hh)
+	}
+	return e.zoneSplitPar(read, d, bnd, hh, base, count)
+}
+
+func (e *glosEngine) zoneSplitPar(read func(int) float64, d, bnd, hh, base, count int) (z []float64, nb int, fftOut []float64) {
+	par.Do(
+		func() { z, nb = e.zone(read, d, bnd, hh) },
+		func() { fftOut = e.zoneFFT(read, base, count, hh) },
+	)
+	return z, nb, fftOut
+}
+
 // zoneNaive iterates the shrinking window [bnd-drop*h, bnd+r*(h-t)] directly.
+// The two window buffers ping-pong from the scratch pool.
 func (e *glosEngine) zoneNaive(read func(int) float64, d, bnd, h int) ([]float64, int) {
 	lo, hi := bnd-e.drop*h, bnd+e.r*h
-	cur := make([]float64, hi-lo+1)
+	cur := scratch.Floats(hi - lo + 1)
 	for j := lo; j <= hi; j++ {
 		cur[j-lo] = read(j)
 	}
+	spare := scratch.Floats(hi - lo + 1)
 	b := bnd
 	for t := 1; t <= h; t++ {
 		nhi := bnd + e.r*(h-t)
-		next := make([]float64, nhi-lo+1)
+		next := spare[:nhi-lo+1]
 		// The boundary drops at most e.drop per interior step and is
 		// clamped at -1: columns below 0 are virtual filler (no real cell
 		// ever reads them, since dependencies point right) and must never
@@ -361,8 +401,9 @@ func (e *glosEngine) zoneNaive(read func(int) float64, d, bnd, h int) ([]float64
 			}
 		}
 		e.stats.addNaive(nhi - lo + 1)
-		cur, b = next, newB
+		cur, spare, b = next, cur, newB
 	}
+	scratch.PutFloats(spare)
 	return cur[:e.drop*h+1], b
 }
 

@@ -81,24 +81,35 @@ func NextPow2(n int) int {
 
 // Forward computes the in-place forward DFT of a:
 // A[f] = sum_j a[j] * exp(-2*pi*i*j*f/n).
-func (p *Plan) Forward(a []complex128) { p.transform(a, false) }
+func (p *Plan) Forward(a []complex128) {
+	addTransformed(16 * p.n)
+	p.transform(a, false)
+}
 
 // Inverse computes the in-place inverse DFT of a, including the 1/n scaling,
 // so that Inverse(Forward(a)) == a up to rounding.
 func (p *Plan) Inverse(a []complex128) {
+	addTransformed(16 * p.n)
 	p.transform(a, true)
 	inv := complex(1/float64(p.n), 0)
 	if p.n >= parThreshold {
-		par.For(p.n, 4096, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				a[i] *= inv
-			}
-		})
+		p.scalePar(a, inv)
 		return
 	}
 	for i := range a {
 		a[i] *= inv
 	}
+}
+
+// scalePar lives in its own function so Inverse's hot serial path carries no
+// closure: a parameter captured by an escaping func literal is boxed on every
+// call, even when the parallel branch is never taken.
+func (p *Plan) scalePar(a []complex128, inv complex128) {
+	par.For(p.n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] *= inv
+		}
+	})
 }
 
 func (p *Plan) transform(a []complex128, inverse bool) {
@@ -110,14 +121,25 @@ func (p *Plan) transform(a []complex128, inverse bool) {
 		return
 	}
 	p.permute(a)
-	parallel := n >= parThreshold && par.Workers() > 1
+	if n >= parThreshold && par.Workers() > 1 {
+		p.transformPar(a, inverse)
+		return
+	}
+	for size := 2; size <= n; size <<= 1 {
+		p.stageSerial(a, 0, n/size, size, size>>1, n/size, inverse)
+	}
+}
+
+// transformPar runs the stage loop with parallel butterflies. Kept separate
+// from transform so the small-transform path allocates nothing (see
+// scalePar).
+func (p *Plan) transformPar(a []complex128, inverse bool) {
+	n := p.n
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		blocks := n / size
 		switch {
-		case !parallel:
-			p.stageSerial(a, 0, blocks, size, half, step, inverse)
 		case blocks >= 2*par.Workers():
 			par.For(blocks, 1, func(lo, hi int) {
 				p.stageSerial(a, lo, hi, size, half, step, inverse)

@@ -23,9 +23,11 @@ package linstencil
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/nlstencil/amop/internal/fft"
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
 )
 
 // Stencil is a linear 1D stencil. W[i] is the weight of offset MinOff+i; the
@@ -59,11 +61,27 @@ func (s Stencil) Validate() error {
 // exact; this is purely a constant-factor optimization for tiny subproblems.
 const naiveCutoff = 1 << 11
 
+// realPath selects the real-input FFT fast path (the default). Disabling it
+// routes EvolveCone and EvolvePeriodic through the original full-complex,
+// uncached implementation, which the harness uses to A/B the two stacks on
+// identical inputs.
+var realPath atomic.Bool
+
+func init() { realPath.Store(true) }
+
+// SetRealPath enables or disables the real-input fast path and returns the
+// previous setting. It exists for benchmarking and cross-validation; leave it
+// enabled in production.
+func SetRealPath(enabled bool) bool { return realPath.Swap(enabled) }
+
 // EvolveCone advances cur (positions 0..n-1 at some time t) by k steps and
 // returns the exactly computable positions at time t+k: vals[i] is the value
 // at position firstPos+i, where firstPos = -k*MinOff and
 // len(vals) = n - k*Span(). It panics if no position is computable
 // (k*Span() >= n) or k < 0.
+//
+// The returned slice is freshly owned by the caller; callers that drop it on
+// a hot path may recycle it with scratch.PutFloats.
 func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) {
 	n := len(cur)
 	span := s.Span()
@@ -76,12 +94,67 @@ func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) 
 	}
 	firstPos = -k * s.MinOff
 	if k == 0 {
-		return append([]float64(nil), cur...), 0
+		vals = scratch.Floats(n)
+		copy(vals, cur)
+		return vals, 0
 	}
 	if n*k*(span+1) <= naiveCutoff {
 		return evolveConeNaive(cur, s, k), firstPos
 	}
+	if !realPath.Load() {
+		return evolveConeComplex(cur, s, k, outN), firstPos
+	}
 
+	// Real-input fast path: pad into pooled scratch, transform the real row
+	// to its half spectrum, multiply by the cached kernel spectrum, and
+	// transform back — half the butterfly work of the complex path and zero
+	// steady-state allocations beyond the result row.
+	N := fft.NextPow2(n)
+	rp := fft.RPlanFor(N)
+	x := scratch.Floats(N)
+	copy(x, cur)
+	clear(x[n:])
+	spec := scratch.Complexes(rp.HalfLen())
+	rp.Forward(x, spec)
+	mulSpectrum(spec, kernelSpectrum(s, 0, N, k, rp))
+	rp.Inverse(spec, x)
+
+	// x[t] now holds corr[t] = sum_m C[m] cur[t+m] for the kernel C of
+	// P(x)^k; position j at time t+k corresponds to t = j + k*MinOff, and
+	// valid t runs over [0, outN).
+	vals = scratch.Floats(outN)
+	copy(vals, x[:outN])
+	scratch.PutFloats(x)
+	scratch.PutComplexes(spec)
+	return vals, firstPos
+}
+
+// mulSpectrum multiplies the half spectrum pointwise by the cached kernel
+// multiplier. The small case runs a plain loop so the call allocates nothing
+// (the parallel variant's closure would box both slice headers per call).
+func mulSpectrum(spec, mult []complex128) {
+	if len(spec) >= 1<<13 {
+		mulSpectrumPar(spec, mult)
+		return
+	}
+	for f := range spec {
+		spec[f] *= mult[f]
+	}
+}
+
+func mulSpectrumPar(spec, mult []complex128) {
+	par.For(len(spec), 4096, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			spec[f] *= mult[f]
+		}
+	})
+}
+
+// evolveConeComplex is the pre-real-path implementation: full complex128
+// transform with per-call symbol evaluation and no caching. Kept verbatim as
+// the A/B reference for parity tests and the harness's fastpath experiment.
+func evolveConeComplex(cur []float64, s Stencil, k, outN int) []float64 {
+	n := len(cur)
 	N := fft.NextPow2(n)
 	plan := fft.PlanFor(N)
 	a := make([]complex128, N)
@@ -91,15 +164,25 @@ func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) 
 	plan.Forward(a)
 	mulSymbolPow(a, s, k, N)
 	plan.Inverse(a)
-
-	// a[t] now holds corr[t] = sum_m C[m] cur[t+m] for the kernel C of
-	// P(x)^k; position j at time t+k corresponds to t = j + k*MinOff, and
-	// valid t runs over [0, outN).
-	vals = make([]float64, outN)
+	vals := make([]float64, outN)
 	for i := range vals {
 		vals[i] = real(a[i])
 	}
-	return vals, firstPos
+	return vals
+}
+
+// EvolveConeComplex runs EvolveCone's legacy full-complex path regardless of
+// the SetRealPath setting. Exposed for parity tests and benchmarks.
+func EvolveConeComplex(cur []float64, s Stencil, k int) (vals []float64, firstPos int) {
+	n := len(cur)
+	outN := n - k*s.Span()
+	if k < 0 || outN <= 0 {
+		panic("linstencil: cone empty")
+	}
+	if k == 0 {
+		return append([]float64(nil), cur...), 0
+	}
+	return evolveConeComplex(cur, s, k, outN), -k * s.MinOff
 }
 
 // mulSymbolPow multiplies the spectrum a (size N) pointwise by the conjugate
@@ -124,6 +207,11 @@ func mulSymbolPow(a []complex128, s Stencil, k, N int) {
 // EvolvePeriodic advances cur, interpreted as a ring of power-of-two size, by
 // k steps: next[j] = sum_o w[o]*cur[(j+o) mod n]. The result has the same
 // length as the input.
+//
+// On the ring the correlation index never leaves the grid, but the kernel
+// offsets must be taken relative to the true offsets, not the shifted
+// polynomial: position j pulls from j+MinOff+m. The MinOff shift is folded
+// into the cached kernel spectrum as a w_f^MinOff modulation.
 func EvolvePeriodic(cur []float64, s Stencil, k int) []float64 {
 	n := len(cur)
 	if n == 0 || n&(n-1) != 0 {
@@ -132,16 +220,31 @@ func EvolvePeriodic(cur []float64, s Stencil, k int) []float64 {
 	if k < 0 {
 		panic("linstencil: negative step count")
 	}
+	if !realPath.Load() {
+		return evolvePeriodicComplex(cur, s, k)
+	}
+	rp := fft.RPlanFor(n)
+	x := scratch.Floats(n)
+	copy(x, cur)
+	spec := scratch.Complexes(rp.HalfLen())
+	rp.Forward(x, spec)
+	mulSpectrum(spec, kernelSpectrum(s, s.MinOff, n, k, rp))
+	rp.Inverse(spec, x)
+	scratch.PutComplexes(spec)
+	return x
+}
+
+// evolvePeriodicComplex is the pre-real-path ring evolution: full complex
+// transform with the symbol re-derived per frequency via math.Sincos. Kept as
+// the A/B reference.
+func evolvePeriodicComplex(cur []float64, s Stencil, k int) []float64 {
+	n := len(cur)
 	plan := fft.PlanFor(n)
 	a := make([]complex128, n)
 	for i, v := range cur {
 		a[i] = complex(v, 0)
 	}
 	plan.Forward(a)
-	// On the ring the correlation index never leaves the grid, but the
-	// kernel offsets must be taken relative to the true offsets, not the
-	// shifted polynomial: position j pulls from j+MinOff+m. Fold the MinOff
-	// shift into the spectrum as a modulation.
 	par.For(n, 1024, func(lo, hi int) {
 		for f := lo; f < hi; f++ {
 			sin, cos := math.Sincos(-2 * math.Pi * float64(f) / float64(n))
@@ -150,7 +253,6 @@ func EvolvePeriodic(cur []float64, s Stencil, k int) []float64 {
 			for i := len(s.W) - 2; i >= 0; i-- {
 				sym = sym*omega + complex(s.W[i], 0)
 			}
-			// Undo the polynomial shift: true symbol includes omega^MinOff.
 			shift := fft.Pow(omega, abs(s.MinOff))
 			if s.MinOff < 0 {
 				shift = complex(real(shift), -imag(shift))
@@ -179,7 +281,8 @@ func abs(x int) int {
 // base case and as the testing reference (see EvolveConeNaive).
 func evolveConeNaive(cur []float64, s Stencil, k int) []float64 {
 	span := s.Span()
-	row := append([]float64(nil), cur...)
+	row := scratch.Floats(len(cur))
+	copy(row, cur)
 	for step := 0; step < k; step++ {
 		m := len(row) - span
 		next := row[:m]

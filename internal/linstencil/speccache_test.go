@@ -1,0 +1,188 @@
+package linstencil
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/nlstencil/amop/internal/fft"
+)
+
+// TestRealMatchesComplexPath is the golden parity test of the tentpole: the
+// real-input cached path and the legacy full-complex path must agree within
+// 1e-9 relative error across sizes, including size 1, 2, and odd lengths
+// (which EvolveCone pads up internally).
+func TestRealMatchesComplexPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 3, 5, 17, 64, 100, 257, 1000, 4096, 4097} {
+		for trial := 0; trial < 4; trial++ {
+			s := randStencil(rng)
+			maxK := (n - 1) / s.Span()
+			if maxK == 0 {
+				continue
+			}
+			k := 1 + rng.Intn(maxK)
+			row := randRow(rng, n)
+
+			real1, fp1 := EvolveCone(row, s, k)
+			cplx, fp2 := EvolveConeComplex(row, s, k)
+			if fp1 != fp2 || len(real1) != len(cplx) {
+				t.Fatalf("n=%d k=%d: shape mismatch (%d,%d) vs (%d,%d)", n, k, fp1, len(real1), fp2, len(cplx))
+			}
+			for i := range real1 {
+				scale := 1 + absf(cplx[i])
+				if d := absf(real1[i] - cplx[i]); d > 1e-9*scale {
+					t.Fatalf("n=%d k=%d: real vs complex diff %g at %d", n, k, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRealPathToggle verifies SetRealPath actually switches implementations
+// and that both agree with the naive oracle.
+func TestRealPathToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	s := Stencil{MinOff: 0, W: []float64{0.48, 0.51}}
+	n, k := 2048, 512
+	row := randRow(rng, n)
+	naive, _ := EvolveConeNaive(row, s, k)
+
+	prev := SetRealPath(false)
+	defer SetRealPath(prev)
+	legacy, _ := EvolveCone(row, s, k)
+	SetRealPath(true)
+	fast, _ := EvolveCone(row, s, k)
+
+	if d := maxDiff(legacy, naive); d > 1e-9 {
+		t.Fatalf("legacy path off naive by %g", d)
+	}
+	if d := maxDiff(fast, naive); d > 1e-9 {
+		t.Fatalf("real path off naive by %g", d)
+	}
+}
+
+// TestEvolvePeriodicSize1 covers the degenerate one-cell ring on both paths.
+func TestEvolvePeriodicSize1(t *testing.T) {
+	s := Stencil{MinOff: -1, W: []float64{0.25, 0.5, 0.2}}
+	row := []float64{1.5}
+	want := EvolvePeriodicNaive(row, s, 7)
+	if d := maxDiff(EvolvePeriodic(row, s, 7), want); d > 1e-12 {
+		t.Fatalf("real ring path off naive by %g", d)
+	}
+	prev := SetRealPath(false)
+	defer SetRealPath(prev)
+	if d := maxDiff(EvolvePeriodic(row, s, 7), want); d > 1e-12 {
+		t.Fatalf("legacy ring path off naive by %g", d)
+	}
+}
+
+func TestSpectrumCacheHitsAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s := Stencil{MinOff: 0, W: []float64{0.47, 0.52}}
+	row := randRow(rng, 4096)
+
+	h0, m0, _, _ := SpectrumCacheStats()
+	EvolveCone(row, s, 1024)
+	h1, m1, bytes, entries := SpectrumCacheStats()
+	if m1 == m0 {
+		t.Error("first evolution did not record a cache miss")
+	}
+	if entries == 0 || bytes <= 0 {
+		t.Errorf("cache empty after a solve: %d entries, %d bytes", entries, bytes)
+	}
+	EvolveCone(row, s, 1024)
+	h2, m2, _, _ := SpectrumCacheStats()
+	if h2 <= h1 {
+		t.Errorf("repeat evolution did not hit the cache (hits %d -> %d)", h1, h2)
+	}
+	if m2 != m1 {
+		t.Errorf("repeat evolution recomputed the spectrum (misses %d -> %d)", m1, m2)
+	}
+	_ = h0
+
+	// Shrinking the limit must evict down to the bound; restoring must leave
+	// a working cache.
+	SetSpectrumCacheLimit(1)
+	_, _, bytes, _ = SpectrumCacheStats()
+	if bytes > 1 {
+		t.Errorf("cache holds %d bytes after limit 1", bytes)
+	}
+	SetSpectrumCacheLimit(DefaultSpectrumCacheLimit)
+	out, _ := EvolveCone(row, s, 1024)
+	naive, _ := EvolveConeNaive(row, s, 1024)
+	if d := maxDiff(out, naive); d > 1e-9 {
+		t.Fatalf("post-eviction evolution off naive by %g", d)
+	}
+}
+
+// TestSpectrumCacheConcurrent hammers one key from many goroutines; run with
+// -race. All callers must see identical, correct multipliers.
+func TestSpectrumCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	s := Stencil{MinOff: -1, W: []float64{0.3, 0.35, 0.3}}
+	row := randRow(rng, 1024)
+	want, _ := EvolveConeNaive(row, s, 128)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, _ := EvolveCone(row, s, 128)
+				if d := maxDiff(got, want); d > 1e-9 {
+					t.Errorf("concurrent evolution off naive by %g", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMakeKeyDistinguishes ensures distinct stencils, shifts, sizes and step
+// counts never collide.
+func TestMakeKeyDistinguishes(t *testing.T) {
+	base := Stencil{MinOff: 0, W: []float64{0.5, 0.4}}
+	keys := map[symKey]bool{
+		makeKey(base, 0, 64, 8):  true,
+		makeKey(base, 0, 64, 9):  true,
+		makeKey(base, 0, 128, 8): true,
+		makeKey(base, -1, 64, 8): true,
+		makeKey(Stencil{MinOff: 0, W: []float64{0.4, 0.5}}, 0, 64, 8):            true,
+		makeKey(Stencil{MinOff: 0, W: []float64{0.5, 0.4, 0}}, 0, 64, 8):         true,
+		makeKey(Stencil{MinOff: 0, W: []float64{0.5, 0.4, 0, 0, 0.1}}, 0, 64, 8): true,
+		makeKey(Stencil{MinOff: 0, W: []float64{0.5, 0.4, 0, 0, 0.2}}, 0, 64, 8): true,
+	}
+	if len(keys) != 8 {
+		t.Errorf("key collisions: %d distinct keys, want 8", len(keys))
+	}
+}
+
+// TestComputeSpectrumUsesTwiddles cross-checks the table-driven symbol
+// evaluation against a directly computed spectrum on a spilled (5-weight)
+// stencil, covering the long-stencil key path too.
+func TestComputeSpectrumUsesTwiddles(t *testing.T) {
+	s := Stencil{MinOff: -2, W: []float64{0.1, 0.2, 0.3, 0.2, 0.15}}
+	n := 64
+	rp := fft.RPlanFor(n)
+	got := computeSpectrum(s, s.MinOff, n, 3, rp)
+	row := make([]float64, n)
+	row[5] = 1
+	fast := EvolvePeriodic(row, s, 3)
+	naive := EvolvePeriodicNaive(row, s, 3)
+	if d := maxDiff(fast, naive); d > 1e-12 {
+		t.Fatalf("5-weight ring evolution off naive by %g", d)
+	}
+	if len(got) != n/2+1 {
+		t.Fatalf("spectrum length %d", len(got))
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

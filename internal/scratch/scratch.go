@@ -1,0 +1,161 @@
+// Package scratch provides size-classed buffer pools for the fast solver's
+// hot loop. The free-boundary recursion and the FFT substrate allocate and
+// discard row segments, padded transform inputs, and spectra at every
+// recursion level; at T = 10^5+ that is tens of thousands of short-lived
+// slices per solve, and under batch traffic the garbage collector becomes a
+// measurable fraction of the run. Pooling by power-of-two capacity class
+// turns the steady state into zero allocations per solve.
+//
+// The pools are bounded LIFO freelists guarded by a mutex rather than
+// sync.Pool: storing a slice in a sync.Pool boxes the header on every Put,
+// which would put one small allocation back on the hot path per recycled
+// buffer — exactly the churn the package exists to remove. Each capacity
+// class retains at most maxClassBytes of idle buffers (see that constant for
+// the process-wide bound); anything beyond the cap is dropped to the GC.
+//
+// Ownership protocol: Floats/Complexes return a buffer with *undefined
+// contents* (callers must overwrite every element they read back) and the
+// caller becomes its owner. Ownership transfers with the slice; whoever holds
+// the last live reference may return the buffer with PutFloats/PutComplexes.
+// Returning a buffer that is still referenced elsewhere is a data race —
+// when ownership is unclear, simply drop the buffer and let the GC take it;
+// the pools are an optimization, never a requirement.
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// maxClass bounds the pooled capacity classes at 2^maxClass elements;
+	// larger requests go straight to the allocator.
+	maxClass = 28
+
+	// minClass is the smallest pooled capacity class (2^5 = 32 elements).
+	// Smaller slices cost less to allocate than to round-trip through a pool.
+	minClass = 5
+
+	// maxClassBytes bounds the idle buffers retained per class; buffers
+	// larger than this on their own are never retained at all. The whole
+	// package therefore holds at most maxClassBytes per retaining class
+	// (float classes up to 2^22 elements, complex up to 2^21) ≈ 1.1 GiB in
+	// the degenerate worst case and, in practice, a few dozen MiB shaped
+	// like the largest recent solve.
+	maxClassBytes = 32 << 20
+)
+
+type floatPool struct {
+	mu   sync.Mutex
+	bufs [][]float64
+}
+
+type complexPool struct {
+	mu   sync.Mutex
+	bufs [][]complex128
+}
+
+var (
+	floatPools   [maxClass + 1]floatPool
+	complexPools [maxClass + 1]complexPool
+)
+
+// retain reports how many idle buffers a class of the given element size may
+// hold under the maxClassBytes bound. Classes whose single buffer already
+// exceeds the bound retain nothing: parking multi-GiB one-off rows for the
+// process lifetime costs far more than the one allocation dropping them
+// costs the next giant solve.
+func retain(c int, elemSize int) int {
+	return maxClassBytes / (elemSize << c)
+}
+
+// class returns the pool index for a request of n elements, or -1 when the
+// request should bypass the pools.
+func class(n int) int {
+	if n <= 0 || n > 1<<maxClass {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n)), and 0 for n == 1
+	if c < minClass {
+		c = minClass
+	}
+	return c
+}
+
+// Floats returns a []float64 of length n with undefined contents and,
+// for poolable sizes, capacity rounded up to a power of two. Sizes whose
+// class can never retain a buffer (a single buffer over maxClassBytes) are
+// allocated at exact length: rounding up would pay up to 2x transient memory
+// for zero pooling benefit.
+func Floats(n int) []float64 {
+	c := class(n)
+	if c < 0 || retain(c, 8) == 0 {
+		return make([]float64, n)
+	}
+	p := &floatPools[c]
+	p.mu.Lock()
+	if last := len(p.bufs) - 1; last >= 0 {
+		b := p.bufs[last]
+		p.bufs[last] = nil
+		p.bufs = p.bufs[:last]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats returns a buffer obtained from Floats to its pool. Buffers whose
+// capacity is not a power of two (foreign allocations, or pool buffers
+// re-sliced so their backing array is no longer fully owned) are dropped, as
+// are nil, tiny, and over-cap buffers.
+func PutFloats(b []float64) {
+	c := cap(b)
+	if c < 1<<minClass || c > 1<<maxClass || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	p := &floatPools[cls]
+	p.mu.Lock()
+	if len(p.bufs) < retain(cls, 8) {
+		p.bufs = append(p.bufs, b[:0:c])
+	}
+	p.mu.Unlock()
+}
+
+// Complexes returns a []complex128 of length n with undefined contents and,
+// for poolable sizes, capacity rounded up to a power of two (see Floats for
+// the never-retained exception).
+func Complexes(n int) []complex128 {
+	c := class(n)
+	if c < 0 || retain(c, 16) == 0 {
+		return make([]complex128, n)
+	}
+	p := &complexPools[c]
+	p.mu.Lock()
+	if last := len(p.bufs) - 1; last >= 0 {
+		b := p.bufs[last]
+		p.bufs[last] = nil
+		p.bufs = p.bufs[:last]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]complex128, n, 1<<c)
+}
+
+// PutComplexes returns a buffer obtained from Complexes to its pool, under
+// the same rules as PutFloats.
+func PutComplexes(b []complex128) {
+	c := cap(b)
+	if c < 1<<minClass || c > 1<<maxClass || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	p := &complexPools[cls]
+	p.mu.Lock()
+	if len(p.bufs) < retain(cls, 16) {
+		p.bufs = append(p.bufs, b[:0:c])
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,136 @@
+package scratch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassRounding(t *testing.T) {
+	cases := map[int]int{
+		1:               minClass,
+		31:              minClass,
+		32:              minClass,
+		33:              6,
+		64:              6,
+		65:              7,
+		1 << maxClass:   maxClass,
+		1<<maxClass + 1: -1,
+		0:               -1,
+		-4:              -1,
+	}
+	for n, want := range cases {
+		if got := class(n); got != want {
+			t.Errorf("class(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFloatsLenCap(t *testing.T) {
+	for _, n := range []int{1, 5, 32, 33, 100, 4096, 4097} {
+		b := Floats(n)
+		if len(b) != n {
+			t.Fatalf("Floats(%d): len %d", n, len(b))
+		}
+		if c := cap(b); c&(c-1) != 0 {
+			t.Fatalf("Floats(%d): cap %d not a power of two", n, c)
+		}
+		PutFloats(b)
+	}
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	b := Floats(1000)
+	b[0], b[999] = 1, 2
+	PutFloats(b)
+	c := Floats(900)
+	if cap(c) != cap(b) || &c[0] != &b[0] {
+		t.Error("Floats did not reuse the pooled buffer")
+	}
+	PutFloats(c)
+
+	z := Complexes(512)
+	PutComplexes(z)
+	z2 := Complexes(512)
+	if &z2[0] != &z[0] {
+		t.Error("Complexes did not reuse the pooled buffer")
+	}
+	PutComplexes(z2)
+}
+
+// TestPutRejectsForeign: non-power-of-two capacities (e.g. leafRow buffers
+// allocated with plain make) must be silently dropped, not pooled.
+func TestPutRejectsForeign(t *testing.T) {
+	PutFloats(make([]float64, 100, 100))
+	b := Floats(100)
+	if cap(b) == 100 {
+		t.Error("pool accepted a non-power-of-two buffer")
+	}
+	PutFloats(nil)
+	PutComplexes(nil)
+	PutComplexes(make([]complex128, 33, 33))
+}
+
+// TestFrontTrimmedPut: a pool buffer re-sliced from the front loses its
+// power-of-two capacity and must be dropped rather than corrupting the pool.
+func TestFrontTrimmedPut(t *testing.T) {
+	b := Floats(64)
+	PutFloats(b[3:])
+	got := Floats(64)
+	if len(got) != 64 {
+		t.Fatalf("len %d after trimmed Put", len(got))
+	}
+	PutFloats(got)
+}
+
+func TestRetainBound(t *testing.T) {
+	if got := retain(minClass, 8); got != maxClassBytes/(8<<minClass) {
+		t.Errorf("retain(minClass) = %d", got)
+	}
+	// A class whose single buffer exceeds maxClassBytes must retain nothing.
+	if got := retain(maxClass, 16); got != 0 {
+		t.Errorf("retain(maxClass, 16) = %d, want 0", got)
+	}
+	// The largest retaining classes sit exactly at the bound.
+	if got := retain(22, 8); got != 1 {
+		t.Errorf("retain(22, 8) = %d, want 1", got)
+	}
+	if got := retain(21, 16); got != 1 {
+		t.Errorf("retain(21, 16) = %d, want 1", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 32 + (g*31+i*17)%2000
+				f := Floats(n)
+				for j := range f {
+					f[j] = float64(g)
+				}
+				for j := range f {
+					if f[j] != float64(g) {
+						t.Errorf("buffer shared between goroutines")
+						return
+					}
+				}
+				PutFloats(f)
+				z := Complexes(n)
+				z[0] = complex(float64(g), 0)
+				PutComplexes(z)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkFloatsRecycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := Floats(4096)
+		PutFloats(f)
+	}
+}

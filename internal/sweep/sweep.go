@@ -18,6 +18,7 @@ package sweep
 
 import (
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
 )
 
 // Problem describes one instance for the baseline sweeps.
@@ -37,9 +38,10 @@ type Problem struct {
 // calls while keeping scratch buffers stack-friendly.
 const exChunk = 512
 
-// leafRow materializes the initial row.
+// leafRow materializes the initial row into a pooled buffer; callers recycle
+// it when the sweep is done.
 func (p *Problem) leafRow() []float64 {
-	row := make([]float64, p.Hi0+1)
+	row := scratch.Floats(p.Hi0 + 1)
 	for j := range row {
 		row[j] = p.Leaf(j)
 	}
@@ -87,7 +89,9 @@ func Naive(p *Problem) float64 {
 	for d := 1; d <= p.T; d++ {
 		p.updateRowInPlace(row, d, 0, p.Hi0-d*r)
 	}
-	return row[0]
+	v := row[0]
+	scratch.PutFloats(row)
+	return v
 }
 
 // NaiveParallel is the row-parallel nested loop: each row is computed from
@@ -97,7 +101,7 @@ func NaiveParallel(p *Problem) float64 {
 	r := len(p.W) - 1
 	rows := make([][]float64, 2)
 	rows[0] = p.leafRow()
-	rows[1] = make([]float64, len(rows[0]))
+	rows[1] = scratch.Floats(len(rows[0]))
 	par.RowSweep(p.T,
 		func(row int) int { return p.Hi0 - (row+1)*r + 1 },
 		func(row, lo, hiEx int) {
@@ -122,7 +126,10 @@ func NaiveParallel(p *Problem) float64 {
 				}
 			}
 		})
-	return rows[p.T&1][0]
+	v := rows[p.T&1][0]
+	scratch.PutFloats(rows[0])
+	scratch.PutFloats(rows[1])
+	return v
 }
 
 func min(a, b int) int {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
 )
 
 // Tiled is the cache-aware split-tiled sweep (the paper's zb-bopm analogue,
@@ -34,18 +35,24 @@ func Tiled(p *Problem, tileW, tileH int) float64 {
 	depth := 0
 	for depth < p.T {
 		h := min(tileH, p.T-depth)
+		old := row
 		row = p.tiledBand(row, depth, h, tileW, r)
+		scratch.PutFloats(old)
 		depth += h
 	}
-	return row[0]
+	v := row[0]
+	scratch.PutFloats(row)
+	return v
 }
 
 // tiledBand advances row (columns [0, len(row)-1] at the given depth) by h
-// steps and returns the new row.
+// steps and returns the new row. Band rows, per-tile working buffers, and
+// the halo strips all cycle through the scratch pools, so a full sweep
+// reaches steady state after its first band.
 func (p *Problem) tiledBand(row []float64, depth, h, w, r int) []float64 {
 	topHi := len(row) - 1
 	botHi := topHi - h*r
-	out := make([]float64, botHi+1)
+	out := scratch.Floats(botHi + 1)
 
 	numTiles := max((topHi+1)/w, 1)
 	tileLo := func(k int) int { return k * w }
@@ -67,9 +74,10 @@ func (p *Problem) tiledBand(row []float64, depth, h, w, r int) []float64 {
 		var ex [exChunk]float64
 		for k := klo; k < khi; k++ {
 			a, b := tileLo(k), tileHi(k)
-			buf := append([]float64(nil), row[a:b+1]...)
-			hl := make([]float64, h*r)
-			hr := make([]float64, h*r)
+			buf := scratch.Floats(b - a + 1)
+			copy(buf, row[a:b+1])
+			hl := scratch.Floats(h * r)
+			hr := scratch.Floats(h * r)
 			for t := 1; t <= h; t++ {
 				copy(hl[(t-1)*r:t*r], buf[:r])
 				copy(hr[(t-1)*r:t*r], buf[len(buf)-r:])
@@ -94,6 +102,7 @@ func (p *Problem) tiledBand(row []float64, depth, h, w, r int) []float64 {
 			}
 			haloL[k], haloR[k] = hl, hr
 			copy(out[a:], buf) // bottom columns [a, b-h*r]
+			scratch.PutFloats(buf)
 		}
 	})
 
@@ -137,5 +146,9 @@ func (p *Problem) tiledBand(row []float64, depth, h, w, r int) []float64 {
 			copy(out[b-h*r+1:], tri)
 		}
 	})
+	for k := range haloL {
+		scratch.PutFloats(haloL[k])
+		scratch.PutFloats(haloR[k])
+	}
 	return out
 }

@@ -1,0 +1,42 @@
+package amop
+
+import (
+	"github.com/nlstencil/amop/internal/fft"
+	"github.com/nlstencil/amop/internal/linstencil"
+)
+
+// PerfCounters is a snapshot of the process-wide fast-path performance
+// counters: the kernel-spectrum cache that every solver and every PriceBatch
+// worker shares, and the byte traffic through the FFT substrate. Counters are
+// cumulative since process start; sample before and after a workload and
+// subtract to attribute activity to it.
+type PerfCounters struct {
+	// SpectrumCacheHits / SpectrumCacheMisses count lookups of the
+	// precomputed kernel spectra (stencil symbol raised to the step count) by
+	// the FFT evolution hot path. A healthy steady-state workload — a chain
+	// repriced every tick, a batch sweeping strikes on one lattice — runs at
+	// a hit rate near 1.
+	SpectrumCacheHits   int64
+	SpectrumCacheMisses int64
+	// SpectrumCacheBytes / SpectrumCacheEntries describe the cache's current
+	// footprint, bounded by linstencil.SetSpectrumCacheLimit (64 MiB by
+	// default).
+	SpectrumCacheBytes   int64
+	SpectrumCacheEntries int
+	// FFTBytesTransformed counts sample bytes pushed through FFT butterfly
+	// stages (8 per real sample, 16 per complex sample, per direction). The
+	// real-input path moves half the bytes of the complex path it replaced.
+	FFTBytesTransformed int64
+}
+
+// ReadPerfCounters returns the current counter snapshot.
+func ReadPerfCounters() PerfCounters {
+	hits, misses, bytes, entries := linstencil.SpectrumCacheStats()
+	return PerfCounters{
+		SpectrumCacheHits:    hits,
+		SpectrumCacheMisses:  misses,
+		SpectrumCacheBytes:   bytes,
+		SpectrumCacheEntries: entries,
+		FFTBytesTransformed:  fft.TransformedBytes(),
+	}
+}
