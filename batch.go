@@ -16,6 +16,7 @@ import (
 
 	"github.com/nlstencil/amop/internal/bopm"
 	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/fft"
 	"github.com/nlstencil/amop/internal/option"
 	"github.com/nlstencil/amop/internal/par"
 	"github.com/nlstencil/amop/internal/topm"
@@ -56,6 +57,11 @@ type BatchOptions struct {
 	// completes (in completion order, serialized, concurrent with the rest
 	// of the batch) — e.g. to stream quotes as they become available.
 	OnResult func(i int, r Result)
+	// DisableMemo turns off the engine's repricing memo, so every request
+	// prices from scratch. It exists for A/B measurement of the
+	// amortization (the harness's radix4 experiment); leave it off in
+	// production.
+	DisableMemo bool
 }
 
 // PriceBatch prices every request over a bounded worker pool and returns one
@@ -76,6 +82,12 @@ func PriceBatch(reqs []Request, opts BatchOptions) []Result {
 		return res
 	}
 	eng := newEngine()
+	eng.memoOff = opts.DisableMemo
+	maxSteps := 0
+	for i := range reqs {
+		maxSteps = max(maxSteps, reqs[i].Config.Steps)
+	}
+	eng.prewarm(maxSteps)
 	var deliverMu sync.Mutex
 	runPool(len(reqs), opts.Workers, func(i int) {
 		r := eng.run(reqs[i])
@@ -143,10 +155,15 @@ func resolveModel(o Option, m Model, cfg Config) Model {
 
 // --- engine -----------------------------------------------------------------
 
-// engine carries the shared state of one batch: the lattice-model cache and
-// the per-contract price memo. It is safe for concurrent use.
+// engine is the per-batch reuse context threaded through PriceBatch and
+// Chain: the lattice-model cache and the per-contract repricing memo that
+// every worker of one batch shares. One quote's Greeks bumps, implied-vol
+// iterations, and headline price all route through it, so no (option, model,
+// config) point is ever priced twice within a batch. It is safe for
+// concurrent use.
 type engine struct {
-	models modelCache
+	models  modelCache
+	memoOff bool // set before the pool starts; read-only afterwards
 
 	mu   sync.Mutex
 	memo map[priceKey]*priceEntry
@@ -154,6 +171,32 @@ type engine struct {
 
 func newEngine() *engine {
 	return &engine{memo: make(map[priceKey]*priceEntry)}
+}
+
+// repricingMemo{Hits,Misses} count, process-wide, how often an engine served
+// a repricing from its memo versus priced it fresh. A chain computing Greeks
+// and implied vols reprices shared points constantly (the IV solver's seed
+// and first slope reuse the vega bumps); these counters make that
+// amortization observable through ReadPerfCounters.
+var (
+	repricingMemoHits   atomic.Int64
+	repricingMemoMisses atomic.Int64
+)
+
+// RepricingMemoStats returns the cumulative process-wide repricing-memo hit
+// and miss counts.
+func RepricingMemoStats() (hits, misses int64) {
+	return repricingMemoHits.Load(), repricingMemoMisses.Load()
+}
+
+// prewarm builds the FFT plan ladder every solve in the batch can request —
+// a T-step lattice transforms rows of up to ~2T+1 samples, padded to the next
+// power of two — so twiddle-table construction happens once, up front,
+// instead of redundantly across the first wave of workers.
+func (e *engine) prewarm(maxSteps int) {
+	if maxSteps > 0 {
+		fft.Prewarm(2*maxSteps + 2)
+	}
 }
 
 type priceKey struct {
@@ -182,12 +225,18 @@ func (e *engine) run(req Request) (res Result) {
 // price is the memoized pricer: identical (option, model, config) requests
 // are priced exactly once; concurrent duplicates wait for the first.
 func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
+	if e.memoOff {
+		return priceModel(o, m, cfg, &e.models)
+	}
 	k := priceKey{o: o, m: m, cfg: cfg}
 	e.mu.Lock()
 	ent := e.memo[k]
 	if ent == nil {
 		ent = &priceEntry{}
 		e.memo[k] = ent
+		repricingMemoMisses.Add(1)
+	} else {
+		repricingMemoHits.Add(1)
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
@@ -369,6 +418,8 @@ type ChainOptions struct {
 	SkipGreeks, SkipImpliedVol bool
 	// Workers bounds the pool as in BatchOptions.
 	Workers int
+	// DisableMemo turns off the repricing memo, as in BatchOptions.
+	DisableMemo bool
 }
 
 func (o ChainOptions) withDefaults() ChainOptions {
@@ -398,6 +449,8 @@ func Chain(underlying Option, strikes, expiries []float64, opts ChainOptions) []
 		return quotes
 	}
 	eng := newEngine()
+	eng.memoOff = o.DisableMemo
+	eng.prewarm(max(o.Steps, max(o.GreeksSteps, o.IVSteps)))
 	runPool(len(quotes), o.Workers, func(idx int) {
 		i, j := idx/len(expiries), idx%len(expiries)
 		quotes[idx] = eng.quote(underlying, strikes[i], expiries[j], o)

@@ -317,6 +317,75 @@ func TestImpliedVolRecoversVol(t *testing.T) {
 	}
 }
 
+// TestChainRepricingMemoHits drives a Greeks+IV chain and asserts the
+// repricing memo is actually exercised: the implied-vol solver's seed and
+// first slope evaluations land on the same (option, steps) keys as the
+// Greeks' base price and vega bumps, so every cell must produce memo hits.
+func TestChainRepricingMemoHits(t *testing.T) {
+	underlying := Option{Type: Call, S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
+	before := ReadPerfCounters()
+	quotes := Chain(underlying, []float64{120, 130}, []float64{1.0}, ChainOptions{Steps: 800})
+	after := ReadPerfCounters()
+	for i, q := range quotes {
+		if q.Err != nil {
+			t.Fatalf("quote %d: %v", i, q.Err)
+		}
+		if q.ImpliedVol == 0 || q.Greeks.Vega == 0 {
+			t.Fatalf("quote %d: Greeks+IV not computed (vega=%v, iv=%v)", i, q.Greeks.Vega, q.ImpliedVol)
+		}
+	}
+	hits := after.RepricingMemoHits - before.RepricingMemoHits
+	if hits <= 0 {
+		t.Errorf("repricing memo hits did not advance on a Greeks+IV chain: %d -> %d",
+			before.RepricingMemoHits, after.RepricingMemoHits)
+	}
+	if misses := after.RepricingMemoMisses - before.RepricingMemoMisses; misses <= 0 {
+		t.Errorf("repricing memo misses did not advance: %d -> %d",
+			before.RepricingMemoMisses, after.RepricingMemoMisses)
+	}
+}
+
+// DisableMemo must leave prices unchanged while bypassing the memo entirely.
+func TestPriceBatchDisableMemo(t *testing.T) {
+	reqs := []Request{
+		{Option: defaultCall(), Config: Config{Steps: 400}},
+		{Option: defaultCall(), Config: Config{Steps: 400}}, // duplicate
+	}
+	before := ReadPerfCounters()
+	res := PriceBatch(reqs, BatchOptions{DisableMemo: true})
+	after := ReadPerfCounters()
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("errors: %v, %v", res[0].Err, res[1].Err)
+	}
+	if res[0].Price != res[1].Price {
+		t.Errorf("duplicate requests priced differently without the memo: %v vs %v", res[0].Price, res[1].Price)
+	}
+	if d := (after.RepricingMemoHits + after.RepricingMemoMisses) - (before.RepricingMemoHits + before.RepricingMemoMisses); d != 0 {
+		t.Errorf("memo counters advanced by %d with DisableMemo set", d)
+	}
+}
+
+// The Newton fast path must also solve from a seed far from the answer (the
+// quote's vol mark is a hint, not a requirement).
+func TestImpliedVolFarSeed(t *testing.T) {
+	o := defaultCall()
+	const steps = 1000
+	truth := o
+	truth.V = 0.45
+	target, err := PriceAmerican(truth, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve with the mark still at 0.2: the solver must walk to 0.45.
+	iv, err := ImpliedVol(o, steps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv-0.45) > 1e-3 {
+		t.Errorf("implied vol %v from a far seed, want 0.45", iv)
+	}
+}
+
 // TestPriceBatchSharesSpectrumCache runs a batch whose contracts differ only
 // by strike, so every worker needs the same kernel spectra, concurrently.
 // All pricings must succeed, the shared spectrum cache must be exercised

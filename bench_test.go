@@ -412,6 +412,29 @@ func BenchmarkBatchNaiveFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkChainGreeksIV prices a 12-quote chain with Greeks and round-trip
+// implied vols — the workload the repricing memo and the Newton-seeded IV
+// solver amortize. BenchmarkChainGreeksIVNoMemo is the same chain with the
+// memo disabled, so the amortization margin is tracked per run.
+func BenchmarkChainGreeksIV(b *testing.B)       { benchChainGreeksIV(b, false) }
+func BenchmarkChainGreeksIVNoMemo(b *testing.B) { benchChainGreeksIV(b, true) }
+
+func benchChainGreeksIV(b *testing.B, disableMemo bool) {
+	underlying := amop.Option{Type: amop.Call, S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
+	strikes := []float64{110, 120, 125, 130, 135, 140}
+	expiries := []float64{0.5, 1.0}
+	opts := amop.ChainOptions{Steps: 4000, DisableMemo: disableMemo}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, q := range amop.Chain(underlying, strikes, expiries, opts) {
+			if q.Err != nil {
+				b.Fatalf("quote %d: %v", j, q.Err)
+			}
+		}
+	}
+}
+
 func mustBOPM(b *testing.B, T int) *bopm.Model {
 	b.Helper()
 	m, err := bopm.New(option.Default(), T)

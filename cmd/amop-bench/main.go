@@ -11,9 +11,11 @@
 // Experiment IDs map one-to-one onto the paper: fig5a/fig5b/fig5c (running
 // time), fig6 (energy), fig7 (cache misses), fig10 (energy by domain),
 // table5 (scaling with p), table2 (work exponents), accuracy, ablation —
-// plus batch, the chain-repricing workload of the batch engine, and
-// fastpath, the A/B of the real-input cached FFT stack against the legacy
-// complex one (wall time, spectrum-cache hit rate, transform traffic).
+// plus batch, the chain-repricing workload of the batch engine; fastpath,
+// the A/B of the real-input cached FFT stack against the legacy complex one
+// (wall time, spectrum-cache hit rate, transform traffic); and radix4, the
+// A/B of the mixed radix-4/radix-2 FFT kernel against plain radix-2 plus the
+// chain-level repricing-memo amortization (Greeks + implied vols).
 //
 // Every run also writes a machine-readable BENCH_<experiment>.json record
 // (override the path with -json, disable with -json -), so the repository's

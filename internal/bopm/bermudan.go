@@ -57,10 +57,3 @@ func (m *Model) PriceBermudan(kind option.Kind, every int) (float64, error) {
 	}
 	return row[0], nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

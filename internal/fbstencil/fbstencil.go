@@ -781,17 +781,3 @@ func (e *glEngine) zoneNaive(read func(int) float64, d, bnd, h int) ([]float64, 
 	scratch.PutFloats(spare)
 	return cur, b
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,283 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// withRadix2 runs fn with the radix-2 kernel selected, restoring the prior
+// setting afterwards.
+func withRadix2(fn func()) {
+	prev := SetRadix4(false)
+	defer SetRadix4(prev)
+	fn()
+}
+
+// radixParitySizes covers the degenerate transforms (1, 2, 4), every odd-log2
+// shape up to 512 (which exercises the leading radix-2 stage), and the even
+// shapes in between.
+var radixParitySizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// TestRadix4MatchesRadix2AndNaive pins the three-way parity of the kernels:
+// for each size, forward and inverse transforms under radix-4 must agree with
+// the radix-2 kernel and with the O(n^2) DFT within 1e-9, and the radix-4
+// round trip must recover the input.
+func TestRadix4MatchesRadix2AndNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range radixParitySizes {
+		for _, inverse := range []bool{false, true} {
+			a := randVec(rng, n)
+			want := naiveDFT(a, inverse)
+			p := PlanFor(n)
+
+			r4 := append([]complex128(nil), a...)
+			if inverse {
+				p.Inverse(r4)
+			} else {
+				p.Forward(r4)
+			}
+
+			r2 := append([]complex128(nil), a...)
+			withRadix2(func() {
+				if inverse {
+					p.Inverse(r2)
+				} else {
+					p.Forward(r2)
+				}
+			})
+
+			if d := maxAbsDiff(r4, want); d > 1e-9 {
+				t.Errorf("n=%d inverse=%v: radix-4 differs from naive DFT by %g", n, inverse, d)
+			}
+			if d := maxAbsDiff(r4, r2); d > 1e-9 {
+				t.Errorf("n=%d inverse=%v: radix-4 differs from radix-2 by %g", n, inverse, d)
+			}
+		}
+
+		a := randVec(rng, n)
+		rt := append([]complex128(nil), a...)
+		p := PlanFor(n)
+		p.Forward(rt)
+		p.Inverse(rt)
+		if d := maxAbsDiff(rt, a); d > 1e-9 {
+			t.Errorf("n=%d: radix-4 round trip error %g", n, d)
+		}
+	}
+}
+
+// TestRadix4RoundTripQuick is the property form: on arbitrary input vectors
+// across a mix of even- and odd-log2 sizes, radix-4 forward+inverse recovers
+// the input and matches radix-2 bin for bin.
+func TestRadix4RoundTripQuick(t *testing.T) {
+	sizes := []int{2, 8, 64, 128}
+	idx := 0
+	prop := func(re, im [128]float64) bool {
+		n := sizes[idx%len(sizes)]
+		idx++
+		a := make([]complex128, n)
+		for i := range a {
+			// quick generates magnitudes up to MaxFloat64; scale into a range
+			// whose partial sums cannot overflow (the property is scale-free).
+			a[i] = complex(re[i]/1e300, im[i]/1e300)
+		}
+		p := PlanFor(n)
+
+		r4 := append([]complex128(nil), a...)
+		p.Forward(r4)
+		r2 := append([]complex128(nil), a...)
+		withRadix2(func() { p.Forward(r2) })
+		for i := range r4 {
+			scale := 1 + cmplx.Abs(r2[i])
+			if cmplx.Abs(r4[i]-r2[i]) > 1e-9*scale {
+				return false
+			}
+		}
+
+		p.Inverse(r4)
+		for i := range a {
+			scale := 1 + cmplx.Abs(a[i])
+			if cmplx.Abs(r4[i]-a[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRadix4RPlanParity pins the real-input path, whose inner complex
+// transform runs at n/2: the half spectrum and the real round trip must agree
+// between the kernels within 1e-9 across the RPlan packing edge cases — n=1
+// (DC only), n=2 (empty recombination loop), n=4 (Nyquist-pair bin only), the
+// self-paired-bin sizes, and odd-log2 inner sizes.
+func TestRadix4RPlanParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		x := randReal(rng, n)
+		rp := RPlanFor(n)
+
+		spec4 := make([]complex128, rp.HalfLen())
+		rp.Forward(append([]float64(nil), x...), spec4)
+		spec2 := make([]complex128, rp.HalfLen())
+		withRadix2(func() { rp.Forward(append([]float64(nil), x...), spec2) })
+		if d := maxAbsDiff(spec4, spec2); d > 1e-9 {
+			t.Errorf("n=%d: radix-4 half spectrum differs from radix-2 by %g", n, d)
+		}
+
+		a := make([]complex128, n)
+		for i, v := range x {
+			a[i] = complex(v, 0)
+		}
+		naive := naiveDFT(a, false)
+		for k := 0; k <= n/2; k++ {
+			if d := cmplx.Abs(spec4[k] - naive[k]); d > 1e-9 {
+				t.Errorf("n=%d k=%d: radix-4 half spectrum differs from naive DFT by %g", n, k, d)
+			}
+		}
+
+		out := make([]float64, n)
+		rp.Inverse(spec4, out)
+		for i := range x {
+			if math.Abs(out[i]-x[i]) > 1e-9 {
+				t.Errorf("n=%d: radix-4 real round trip error %g at %d", n, out[i]-x[i], i)
+				break
+			}
+		}
+	}
+}
+
+// TestRadix4ParallelMatchesSerial verifies the radix-4 parallel staging
+// performs bit-identical arithmetic to the serial pass, on both an even- and
+// an odd-log2 transform large enough to trigger it.
+func TestRadix4ParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	prevThresh := SetParThreshold(1 << 6)
+	defer SetParThreshold(prevThresh)
+	for _, n := range []int{1 << 8, 1 << 9} {
+		for _, inverse := range []bool{false, true} {
+			a := randVec(rng, n)
+			p := PlanFor(n)
+
+			serial := append([]complex128(nil), a...)
+			p.permute(serial)
+			p.transform4(serial, inverse)
+
+			parallel := append([]complex128(nil), a...)
+			p.permute(parallel)
+			p.transformPar4(parallel, inverse)
+
+			if d := maxAbsDiff(parallel, serial); d > 0 {
+				t.Errorf("n=%d inverse=%v: parallel radix-4 differs from serial by %g (want bit-identical)", n, inverse, d)
+			}
+		}
+	}
+}
+
+// TestSetParThreshold checks the setter returns the previous value, that
+// n <= 0 restores the default, and that a tiny threshold (forcing the
+// parallel path onto small transforms) preserves parity with the naive DFT.
+func TestSetParThreshold(t *testing.T) {
+	orig := ParThreshold()
+	if prev := SetParThreshold(64); prev != orig {
+		t.Errorf("SetParThreshold returned %d, want previous value %d", prev, orig)
+	}
+	if got := ParThreshold(); got != 64 {
+		t.Errorf("ParThreshold() = %d after SetParThreshold(64)", got)
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{128, 256} {
+		a := randVec(rng, n)
+		got := append([]complex128(nil), a...)
+		PlanFor(n).Forward(got)
+		if d := maxAbsDiff(got, naiveDFT(a, false)); d > 1e-9 {
+			t.Errorf("n=%d with threshold 64: differs from naive DFT by %g", n, d)
+		}
+	}
+	if prev := SetParThreshold(0); prev != 64 {
+		t.Errorf("SetParThreshold(0) returned %d, want 64", prev)
+	}
+	if got := ParThreshold(); got != 1<<13 {
+		t.Errorf("ParThreshold() = %d after reset, want default %d", got, 1<<13)
+	}
+	SetParThreshold(orig)
+}
+
+// TestSetRadix4 checks the toggle round-trips its previous value.
+func TestSetRadix4(t *testing.T) {
+	if !Radix4() {
+		t.Fatal("radix-4 must be the default")
+	}
+	if prev := SetRadix4(false); !prev {
+		t.Error("SetRadix4(false) did not report the enabled default")
+	}
+	if Radix4() {
+		t.Error("Radix4() still true after SetRadix4(false)")
+	}
+	if prev := SetRadix4(true); prev {
+		t.Error("SetRadix4(true) did not report the disabled state")
+	}
+}
+
+// TestRadix4NotSlowerSmoke is the CI bench-smoke gate: the radix-4 kernel
+// must not regress below the radix-2 kernel it replaced. It times both
+// kernels back to back in-process (median of several rounds, so scheduler
+// noise on shared runners does not flake it) and fails if radix-4 is slower
+// beyond a 5% tolerance. Opt-in via AMOP_BENCH_SMOKE=1 — wall-clock
+// assertions do not belong in the default tier-1 run.
+func TestRadix4NotSlowerSmoke(t *testing.T) {
+	if os.Getenv("AMOP_BENCH_SMOKE") == "" {
+		t.Skip("set AMOP_BENCH_SMOKE=1 to run the radix-4 vs radix-2 timing gate")
+	}
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(45))
+	src := randVec(rng, n)
+	buf := make([]complex128, n)
+	p := PlanFor(n)
+	run := func() {
+		copy(buf, src)
+		p.Forward(buf)
+	}
+	run() // warm the plan and the page cache
+	median := func() float64 {
+		times := make([]float64, 0, 5)
+		for round := 0; round < 5; round++ {
+			start := time.Now()
+			for rep := 0; rep < 8; rep++ {
+				run()
+			}
+			times = append(times, time.Since(start).Seconds())
+		}
+		sort.Float64s(times)
+		return times[len(times)/2]
+	}
+	r4 := median()
+	prev := SetRadix4(false)
+	r2 := median()
+	SetRadix4(prev)
+	t.Logf("radix-4 %.4gs, radix-2 %.4gs (%.2fx) at n=%d", r4, r2, r2/r4, n)
+	if r4 > r2*1.05 {
+		t.Errorf("radix-4 kernel slower than radix-2: %.4gs vs %.4gs", r4, r2)
+	}
+}
+
+// TestPrewarmPopulatesPlanCaches checks Prewarm installs the whole plan
+// ladder, so a later PlanFor/RPlanFor is a pure cache hit.
+func TestPrewarmPopulatesPlanCaches(t *testing.T) {
+	Prewarm(1000) // ladder up to 1024
+	for s := 1; s <= 1024; s <<= 1 {
+		if _, ok := planCache.Load(s); !ok {
+			t.Errorf("Prewarm(1000) did not cache the complex plan of size %d", s)
+		}
+		if _, ok := rplanCache.Load(s); !ok {
+			t.Errorf("Prewarm(1000) did not cache the real plan of size %d", s)
+		}
+	}
+}

@@ -106,7 +106,7 @@ func (p *RPlan) Forward(x []float64, spec []complex128) {
 	m := p.half
 	// Pack: z[j] = x[2j] + i*x[2j+1] in spec[:m], then transform in place.
 	z := spec[:m]
-	if m >= parThreshold {
+	if m >= parThreshold() {
 		p.packPar(x, z)
 	} else {
 		packRange(x, z, 0, m)
@@ -118,7 +118,7 @@ func (p *RPlan) Forward(x []float64, spec []complex128) {
 	// k = 0 (and the Nyquist bin m) read only z[0]; k = m/2 is self-paired.
 	z0 := z[0]
 	if lo, hi := 1, (m+1)/2; hi > lo {
-		if m >= parThreshold {
+		if m >= parThreshold() {
 			p.unpackPar(spec, lo, hi)
 		} else {
 			p.unpackRange(spec, lo, hi)
@@ -145,15 +145,18 @@ func packRange(x []float64, z []complex128, lo, hi int) {
 // unpackRange recombines spectrum pairs (k, m-k) for k in [lo, hi).
 func (p *RPlan) unpackRange(spec []complex128, lo, hi int) {
 	m := p.half
-	z := spec
+	rtw := p.rtw
+	_, _ = spec[m-lo], rtw[hi-1]
 	for k := lo; k < hi; k++ {
-		zk, zmk := z[k], z[m-k]
-		ek := (zk + conj(zmk)) * 0.5         // E[k], even-sample spectrum
-		ok := mulNegI(zk-conj(zmk)) * 0.5    // O[k], odd-sample spectrum
-		spec[k] = ek + p.rtw[k]*ok           // X[k]   = E[k] + w^k O[k]
-		emk := conj(ek)                      // E[m-k]
-		omk := conj(ok)                      // O[m-k]
-		spec[m-k] = emk - conj(p.rtw[k])*omk // w^(m-k) = -conj(w^k)
+		zk, zmk := spec[k], spec[m-k]
+		ek := (zk + conj(zmk)) * 0.5      // E[k], even-sample spectrum
+		ok := mulNegI(zk-conj(zmk)) * 0.5 // O[k], odd-sample spectrum
+		t := rtw[k] * ok
+		spec[k] = ek + t // X[k] = E[k] + w^k O[k]
+		// X[m-k] = E[m-k] - conj(w^k) O[m-k] with E[m-k] = conj(E[k]) and
+		// O[m-k] = conj(O[k]) (w^(m-k) = -conj(w^k)), which folds to one
+		// conjugation of the already-computed product: conj(E[k] - w^k O[k]).
+		spec[m-k] = conj(ek - t)
 	}
 }
 
@@ -188,7 +191,7 @@ func (p *RPlan) Inverse(spec []complex128, x []float64) {
 	scale := complex(0.5/float64(m), 0)
 	x0, xm := spec[0], spec[m]
 	if lo, hi := 1, (m+1)/2; hi > lo {
-		if m >= parThreshold {
+		if m >= parThreshold() {
 			p.repackPar(spec, scale, lo, hi)
 		} else {
 			p.repackRange(spec, scale, lo, hi)
@@ -207,7 +210,7 @@ func (p *RPlan) Inverse(spec []complex128, x []float64) {
 
 	z := spec[:m]
 	p.inner.transform(z, true)
-	if m >= parThreshold {
+	if m >= parThreshold() {
 		unzipPar(z, x)
 	} else {
 		unzipRange(z, x, 0, m)
@@ -218,14 +221,15 @@ func (p *RPlan) Inverse(spec []complex128, x []float64) {
 // [lo, hi), with the inverse's 1/m normalization folded into scale.
 func (p *RPlan) repackRange(spec []complex128, scale complex128, lo, hi int) {
 	m := p.half
+	rtw := p.rtw
+	_, _ = spec[m-lo], rtw[hi-1]
 	for k := lo; k < hi; k++ {
 		xk, xmk := spec[k], spec[m-k]
 		ek := (xk + conj(xmk)) * scale
-		ok := conj(p.rtw[k]) * (xk - conj(xmk)) * scale
+		ok := conj(rtw[k]) * (xk - conj(xmk)) * scale
 		spec[k] = ek + mulI(ok)
-		emk := conj(ek)
-		omk := conj(ok)
-		spec[m-k] = emk + mulI(omk)
+		// Z[m-k] = conj(E[k]) + i*conj(O[k]) = conj(E[k] - i*O[k]).
+		spec[m-k] = conj(ek + mulNegI(ok))
 	}
 }
 

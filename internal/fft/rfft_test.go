@@ -95,7 +95,7 @@ func TestRPlanInverseMatchesComplex(t *testing.T) {
 // transform large enough to trigger it.
 func TestRPlanParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(24))
-	n := parThreshold * 4
+	n := parThreshold() * 4
 	x := randReal(rng, n)
 	rp := RPlanFor(n)
 
@@ -170,6 +170,14 @@ func TestTransformedBytesAdvances(t *testing.T) {
 
 func BenchmarkRealFFT64K(b *testing.B)  { benchRealFFT(b, 1<<16) }
 func BenchmarkRealFFT512K(b *testing.B) { benchRealFFT(b, 1<<19) }
+
+// BenchmarkRealFFT512KRadix2 pins the real-input round trip on the legacy
+// radix-2 kernel; compare against BenchmarkRealFFT512K for the radix-4 win.
+func BenchmarkRealFFT512KRadix2(b *testing.B) {
+	prev := SetRadix4(false)
+	defer SetRadix4(prev)
+	benchRealFFT(b, 1<<19)
+}
 
 // benchRealFFT times one forward+inverse real round trip; compare against
 // BenchmarkForward* to see the half-transform win.

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/fft"
+)
+
+// The radix4 experiment A/Bs the two levers of the PR that introduced it:
+// the mixed radix-4/radix-2 FFT kernel against the plain radix-2 kernel it
+// replaced (complex forward and real-input round trip, across sizes spanning
+// the serial and parallel regimes), and the batch engine's repricing
+// amortization on the end-to-end chain workload (Greeks + implied vols),
+// where the radix switch and the memo switch are toggled independently.
+
+func init() {
+	register(Experiment{"radix4", "mixed radix-4/2 FFT kernel vs radix-2, and chain-level repricing amortization", radix4})
+}
+
+func radix4(cfg Config) ([]*Table, error) {
+	micro := &Table{
+		ID:     "radix4-fft",
+		Title:  "FFT kernel: mixed radix-4/2 vs radix-2 (seconds per transform)",
+		Note:   "fwd = complex in-place forward; rfft = real-input forward+inverse round trip; sizes above the parallel threshold exercise the stage-parallel paths",
+		Header: []string{"n", "fwd_r4_s", "fwd_r2_s", "fwd_speedup", "rfft_r4_s", "rfft_r2_s", "rfft_speedup"},
+	}
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16, 1 << 18} {
+		if n > 4*cfg.MaxT {
+			break
+		}
+		src := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(math.Cos(float64(i)), math.Sin(float64(i)))
+		}
+		buf := make([]complex128, n)
+		p := fft.PlanFor(n)
+		fwd := func() {
+			copy(buf, src)
+			p.Forward(buf)
+		}
+
+		rp := fft.RPlanFor(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Cos(float64(i))
+		}
+		spec := make([]complex128, rp.HalfLen())
+		rfft := func() {
+			rp.Forward(x, spec)
+			rp.Inverse(spec, x)
+		}
+
+		fwd4, rfft4 := timeIt(fwd), timeIt(rfft)
+		prev := fft.SetRadix4(false)
+		fwd2, rfft2 := timeIt(fwd), timeIt(rfft)
+		fft.SetRadix4(prev)
+
+		micro.Rows = append(micro.Rows, []string{
+			fmt.Sprint(n),
+			secs(fwd4), secs(fwd2), ratio(fwd2, fwd4),
+			secs(rfft4), secs(rfft2), ratio(rfft2, rfft4),
+		})
+	}
+
+	chain := &Table{
+		ID:     "radix4-chain",
+		Title:  "12-quote chain with Greeks + implied vols: radix and memo A/B (seconds)",
+		Note:   "full = radix-4 + repricing memo (production); r2 = radix-2 kernel; nomemo = memo disabled; memo hits/misses and hit rate from one full-path chain",
+		Header: []string{"steps", "full_s", "r2_s", "r2/full", "nomemo_s", "nomemo/full", "memo_hits", "memo_misses", "hit_rate"},
+	}
+	underlying := amop.Option{Type: amop.Call, S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
+	strikes := []float64{110, 120, 125, 130, 135, 140}
+	expiries := []float64{0.5, 1.0}
+	runChain := func(opts amop.ChainOptions) error {
+		for i, q := range amop.Chain(underlying, strikes, expiries, opts) {
+			if q.Err != nil {
+				return fmt.Errorf("quote %d: %w", i, q.Err)
+			}
+		}
+		return nil
+	}
+	for _, steps := range []int{2000, 8000} {
+		if steps > cfg.MaxT {
+			break
+		}
+		opts := amop.ChainOptions{Steps: steps}
+		if err := runChain(opts); err != nil { // warm plans, spectra, scratch
+			return nil, err
+		}
+		before := amop.ReadPerfCounters()
+		if err := runChain(opts); err != nil {
+			return nil, err
+		}
+		after := amop.ReadPerfCounters()
+		hits := after.RepricingMemoHits - before.RepricingMemoHits
+		misses := after.RepricingMemoMisses - before.RepricingMemoMisses
+
+		var runErr error
+		time := func(o amop.ChainOptions) float64 {
+			return timeIt(func() {
+				if err := runChain(o); err != nil && runErr == nil {
+					runErr = err
+				}
+			})
+		}
+		full := time(opts)
+		prev := fft.SetRadix4(false)
+		r2 := time(opts)
+		fft.SetRadix4(prev)
+		nomemo := time(amop.ChainOptions{Steps: steps, DisableMemo: true})
+		if runErr != nil {
+			return nil, runErr
+		}
+
+		hitRate := "-"
+		if lookups := hits + misses; lookups > 0 {
+			hitRate = fmt.Sprintf("%.4f", float64(hits)/float64(lookups))
+		}
+		chain.Rows = append(chain.Rows, []string{
+			fmt.Sprint(steps),
+			secs(full), secs(r2), ratio(r2, full),
+			secs(nomemo), ratio(nomemo, full),
+			fmt.Sprint(hits), fmt.Sprint(misses), hitRate,
+		})
+	}
+	return []*Table{micro, chain}, nil
+}

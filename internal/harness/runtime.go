@@ -221,10 +221,3 @@ func ablation(cfg Config) ([]*Table, error) {
 	}
 	return []*Table{base, tiles}, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

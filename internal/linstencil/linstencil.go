@@ -132,8 +132,10 @@ func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) 
 // mulSpectrum multiplies the half spectrum pointwise by the cached kernel
 // multiplier. The small case runs a plain loop so the call allocates nothing
 // (the parallel variant's closure would box both slice headers per call).
+// The cutover follows the FFT substrate's parallel-stage threshold so the
+// harness's fork-join A/B experiments cover this stage too.
 func mulSpectrum(spec, mult []complex128) {
-	if len(spec) >= 1<<13 {
+	if len(spec) >= fft.ParThreshold() {
 		mulSpectrumPar(spec, mult)
 		return
 	}

@@ -131,17 +131,3 @@ func NaiveParallel(p *Problem) float64 {
 	scratch.PutFloats(rows[1])
 	return v
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

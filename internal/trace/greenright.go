@@ -327,17 +327,3 @@ func (e *grTrace) halfStep(seg cachesim.F64, c0, bnd, d, k int) (cachesim.F64, i
 	}
 	return merged, rightBnd
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -27,16 +27,27 @@ type PerfCounters struct {
 	// stages (8 per real sample, 16 per complex sample, per direction). The
 	// real-input path moves half the bytes of the complex path it replaced.
 	FFTBytesTransformed int64
+	// RepricingMemoHits / RepricingMemoMisses count how often a batch
+	// engine served a repricing from its per-batch memo versus priced it
+	// fresh. A chain with Greeks and implied vols enabled reprices shared
+	// points by construction — the IV solver's seed and first slope reuse
+	// the Greeks' base price and vega bumps — so a healthy run shows a
+	// strictly positive hit count.
+	RepricingMemoHits   int64
+	RepricingMemoMisses int64
 }
 
 // ReadPerfCounters returns the current counter snapshot.
 func ReadPerfCounters() PerfCounters {
 	hits, misses, bytes, entries := linstencil.SpectrumCacheStats()
+	memoHits, memoMisses := RepricingMemoStats()
 	return PerfCounters{
 		SpectrumCacheHits:    hits,
 		SpectrumCacheMisses:  misses,
 		SpectrumCacheBytes:   bytes,
 		SpectrumCacheEntries: entries,
 		FFTBytesTransformed:  fft.TransformedBytes(),
+		RepricingMemoHits:    memoHits,
+		RepricingMemoMisses:  memoMisses,
 	}
 }
