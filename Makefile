@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+# RACE_PKGS is the CI race job's package list: the packages that share state
+# across goroutines by design (spectrum/symbol caches, scratch pools, batch
+# and sweep engines), plus the public API package that exercises them end to
+# end. Keep in sync with .github/workflows/ci.yml.
+RACE_PKGS = ./internal/fft/... ./internal/linstencil/... ./internal/fbstencil/... ./internal/scratch/... ./internal/sweep/... .
+
+.PHONY: ci fmt vet build test race smoke bench
 
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt vet build test
@@ -18,8 +24,19 @@ build:
 test:
 	$(GO) test ./...
 
+# race matches the CI race job exactly, so a clean local run means a clean
+# CI run.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(RACE_PKGS)
+
+# smoke mirrors the CI bench-smoke job (minus govulncheck, which downloads
+# its tool): every benchmark runs one iteration, then the in-process
+# regression gates time the radix-4 kernel against radix-2 and the scenario
+# sweep against the naive fan-out.
+smoke: vet
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestRadix4NotSlowerSmoke -v ./internal/fft/
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestScenarioSweepNotSlowerSmoke -v .
 
 # bench regenerates the quick cross-section of every experiment and records
 # the machine-readable perf trajectory (BENCH_all.json).

@@ -435,6 +435,63 @@ func benchChainGreeksIV(b *testing.B, disableMemo bool) {
 	}
 }
 
+// BenchmarkScenarioSweep and BenchmarkScenarioNaiveFanout track the
+// scenario-sweep engine against the per-scenario PriceBatch fan-out it
+// replaces, on a reduced cut of the harness's 45x25 risk grid (9 contracts x
+// 9 scenarios so one iteration stays benchtime-friendly). The full grid runs
+// in cmd/amop-bench -experiment sweep-scenarios.
+func benchSweepInputs() ([]amop.Request, []amop.Scenario) {
+	base := amop.Option{S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163, E: 0.75}
+	var reqs []amop.Request
+	for i := 0; i < 9; i++ {
+		o := base
+		o.K = 112 + 4*float64(i)
+		if i%3 == 2 {
+			o.Type = amop.Put
+		}
+		reqs = append(reqs, amop.Request{Option: o, Model: amop.AutoModel, Config: amop.Config{Steps: 2000}})
+	}
+	scenarios := amop.ScenarioGrid{
+		SpotBumps: []float64{-0.05, 0, 0.05},
+		VolBumps:  []float64{-0.02, 0, 0.02},
+	}.Scenarios()
+	return reqs, scenarios
+}
+
+func BenchmarkScenarioSweep(b *testing.B) {
+	reqs, scenarios := benchSweepInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := amop.ScenarioSweep(reqs, scenarios, amop.SweepOptions{})
+		for j, r := range sw.Results {
+			if r.Err != nil {
+				b.Fatalf("cell %d: %v", j, r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkScenarioNaiveFanout(b *testing.B) {
+	reqs, scenarios := benchSweepInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sc := range scenarios {
+			bumped := make([]amop.Request, len(reqs))
+			for c, req := range reqs {
+				req.Option = sc.Apply(req.Option)
+				bumped[c] = req
+			}
+			for j, r := range amop.PriceBatch(bumped, amop.BatchOptions{}) {
+				if r.Err != nil {
+					b.Fatalf("scenario %v contract %d: %v", sc.Label(), j, r.Err)
+				}
+			}
+		}
+	}
+}
+
 func mustBOPM(b *testing.B, T int) *bopm.Model {
 	b.Helper()
 	m, err := bopm.New(option.Default(), T)

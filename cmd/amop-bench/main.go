@@ -13,9 +13,11 @@
 // table5 (scaling with p), table2 (work exponents), accuracy, ablation —
 // plus batch, the chain-repricing workload of the batch engine; fastpath,
 // the A/B of the real-input cached FFT stack against the legacy complex one
-// (wall time, spectrum-cache hit rate, transform traffic); and radix4, the
+// (wall time, spectrum-cache hit rate, transform traffic); radix4, the
 // A/B of the mixed radix-4/radix-2 FFT kernel against plain radix-2 plus the
-// chain-level repricing-memo amortization (Greeks + implied vols).
+// chain-level repricing-memo amortization (Greeks + implied vols); and
+// sweep-scenarios, the scenario-sweep engine against the naive per-scenario
+// PriceBatch fan-out on a 45-contract x 25-scenario risk grid.
 //
 // Every run also writes a machine-readable BENCH_<experiment>.json record
 // (override the path with -json, disable with -json -), so the repository's

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop"
+)
+
+// The sweep-scenarios experiment measures the scenario-sweep engine against
+// the naive fan-out it replaces: one independent PriceBatch per scenario,
+// every repricing at full resolution. The sweep amortizes the grid three
+// ways — plan-level dedup of the (contract, scenario) product, scenario
+// repricings at half resolution control-variated against the full-resolution
+// base, and cross-resolution sharing of the stencil symbol tables between
+// the two step counts — and the table reports both the speedup and the P&L
+// accuracy cost of the control variate (max absolute deviation from the
+// naive full-resolution P&L across all cells).
+
+func init() {
+	register(Experiment{"sweep-scenarios", "scenario-sweep engine vs naive per-scenario PriceBatch fan-out", sweepScenarios})
+}
+
+// sweepBook builds the 45-contract book: 15 strikes x 3 expiries on one
+// underlying, with every third strike an American put (BSM fast path) so the
+// grid exercises both solver families.
+func sweepBook(steps int) []amop.Request {
+	base := amop.Option{S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
+	var reqs []amop.Request
+	for i := 0; i < 15; i++ {
+		o := base
+		o.K = 100 + 4*float64(i)
+		if i%3 == 2 {
+			o.Type = amop.Put
+		}
+		for _, e := range []float64{0.25, 0.5, 1.0} {
+			o.E = e
+			reqs = append(reqs, amop.Request{
+				Option: o,
+				Model:  amop.AutoModel,
+				Config: amop.Config{Steps: steps},
+			})
+		}
+	}
+	return reqs
+}
+
+// sweepGrid is the 25-scenario risk grid: 5 spot x 5 vol bumps, including
+// the unbumped point.
+func sweepGrid() []amop.Scenario {
+	return amop.ScenarioGrid{
+		SpotBumps: []float64{-0.10, -0.05, 0, 0.05, 0.10},
+		VolBumps:  []float64{-0.04, -0.02, 0, 0.02, 0.04},
+	}.Scenarios()
+}
+
+// naiveFanout prices the grid the pre-sweep way: one PriceBatch per
+// scenario, full resolution everywhere.
+func naiveFanout(reqs []amop.Request, scenarios []amop.Scenario) ([][]amop.Result, error) {
+	out := make([][]amop.Result, len(scenarios))
+	for s, sc := range scenarios {
+		bumped := make([]amop.Request, len(reqs))
+		for c, req := range reqs {
+			req.Option = sc.Apply(req.Option)
+			bumped[c] = req
+		}
+		out[s] = amop.PriceBatch(bumped, amop.BatchOptions{})
+		for c, r := range out[s] {
+			if r.Err != nil {
+				return nil, fmt.Errorf("naive fan-out scenario %d contract %d: %w", s, c, r.Err)
+			}
+		}
+	}
+	return out, nil
+}
+
+func sweepScenarios(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "sweep-scenarios",
+		Title: "45-contract x 25-scenario risk grid: sweep engine vs naive per-scenario fan-out (seconds)",
+		Note: "naive = one full-resolution PriceBatch per scenario; sweep = ScenarioSweep (deduplicated plan, " +
+			"half-resolution scenarios control-variated against the full-resolution base); max_dpnl = worst " +
+			"P&L deviation of the sweep from naive full resolution; crossres = cross-resolution symbol transfers in one cold sweep",
+		Header: []string{"steps", "naive_s", "sweep_s", "speedup", "cells", "unique_repricings", "max_dpnl", "crossres_hits"},
+	}
+	scenarios := sweepGrid()
+	sBase := -1
+	for s, sc := range scenarios {
+		if sc.IsBase() {
+			sBase = s
+		}
+	}
+	for _, steps := range []int{2000, 8000} {
+		if steps > cfg.MaxT {
+			break
+		}
+		reqs := sweepBook(steps)
+
+		// Cold pass: counters around the first sweep attribute the
+		// cross-resolution transfers, then the results feed the accuracy
+		// column; it doubles as the warmup for the timed passes.
+		before := amop.ReadPerfCounters()
+		sw := amop.ScenarioSweep(reqs, scenarios, amop.SweepOptions{})
+		after := amop.ReadPerfCounters()
+		for i, r := range sw.Results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("sweep cell %d: %w", i, r.Err)
+			}
+		}
+		naive, err := naiveFanout(reqs, scenarios)
+		if err != nil {
+			return nil, err
+		}
+		maxDPnL := 0.0
+		for c := range reqs {
+			for s := range scenarios {
+				naivePnL := naive[s][c].Price - naive[sBase][c].Price
+				maxDPnL = math.Max(maxDPnL, math.Abs(sw.At(c, s).PnL-naivePnL))
+			}
+		}
+
+		var runErr error
+		sweepT := timeIt(func() {
+			sw := amop.ScenarioSweep(reqs, scenarios, amop.SweepOptions{})
+			for _, r := range sw.Results {
+				if r.Err != nil && runErr == nil {
+					runErr = r.Err
+				}
+			}
+		})
+		naiveT := timeIt(func() {
+			if _, err := naiveFanout(reqs, scenarios); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(steps),
+			secs(naiveT), secs(sweepT), ratio(naiveT, sweepT),
+			fmt.Sprint(sw.Stats.Cells), fmt.Sprint(sw.Stats.UniqueRepricings),
+			fmt.Sprintf("%.3g", maxDPnL),
+			fmt.Sprint(after.SpectrumCrossResHits - before.SpectrumCrossResHits),
+		})
+	}
+	return []*Table{t}, nil
+}

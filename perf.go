@@ -23,6 +23,19 @@ type PerfCounters struct {
 	// default).
 	SpectrumCacheBytes   int64
 	SpectrumCacheEntries int
+	// SpectrumSymbolHits / SpectrumSymbolMisses count lookups in the cache's
+	// symbol-table layer: the modulated stencil symbol evaluated once per
+	// transform size and shared by every step-count power derived at that
+	// size.
+	SpectrumSymbolHits   int64
+	SpectrumSymbolMisses int64
+	// SpectrumCrossResHits counts symbol tables derived from a table cached
+	// at a different transform size — subsampled exactly from a larger one,
+	// or seeded with the even frequencies of a smaller one — instead of
+	// evaluated from scratch. A scenario sweep that prices its base book at
+	// full resolution and its bump grid at reduced resolution shares symbol
+	// work across the two step counts through exactly this path.
+	SpectrumCrossResHits int64
 	// FFTBytesTransformed counts sample bytes pushed through FFT butterfly
 	// stages (8 per real sample, 16 per complex sample, per direction). The
 	// real-input path moves half the bytes of the complex path it replaced.
@@ -40,12 +53,16 @@ type PerfCounters struct {
 // ReadPerfCounters returns the current counter snapshot.
 func ReadPerfCounters() PerfCounters {
 	hits, misses, bytes, entries := linstencil.SpectrumCacheStats()
+	symHits, symMisses, crossRes := linstencil.SymbolCacheStats()
 	memoHits, memoMisses := RepricingMemoStats()
 	return PerfCounters{
 		SpectrumCacheHits:    hits,
 		SpectrumCacheMisses:  misses,
 		SpectrumCacheBytes:   bytes,
 		SpectrumCacheEntries: entries,
+		SpectrumSymbolHits:   symHits,
+		SpectrumSymbolMisses: symMisses,
+		SpectrumCrossResHits: crossRes,
 		FFTBytesTransformed:  fft.TransformedBytes(),
 		RepricingMemoHits:    memoHits,
 		RepricingMemoMisses:  memoMisses,
