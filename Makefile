@@ -4,7 +4,7 @@ GO ?= go
 # across goroutines by design (spectrum/symbol caches, scratch pools, batch
 # and sweep engines), plus the public API package that exercises them end to
 # end. Keep in sync with .github/workflows/ci.yml.
-RACE_PKGS = ./internal/fft/... ./internal/linstencil/... ./internal/fbstencil/... ./internal/scratch/... ./internal/sweep/... .
+RACE_PKGS = ./internal/fft/... ./internal/linstencil/... ./internal/fbstencil/... ./internal/scratch/... ./internal/serve/... ./internal/sweep/... .
 
 .PHONY: ci fmt vet build test race smoke bench
 
@@ -31,12 +31,14 @@ race:
 
 # smoke mirrors the CI bench-smoke job (minus govulncheck, which downloads
 # its tool): every benchmark runs one iteration, then the in-process
-# regression gates time the radix-4 kernel against radix-2 and the scenario
-# sweep against the naive fan-out.
+# regression gates time the radix-4 kernel against radix-2, the scenario
+# sweep against the naive fan-out, and the live pricing server's serve path
+# (tick skips, request coalescing, cache-serve latency vs cold pricing).
 smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestRadix4NotSlowerSmoke -v ./internal/fft/
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestScenarioSweepNotSlowerSmoke -v .
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestServeLoadSmoke -v .
 
 # bench regenerates the quick cross-section of every experiment and records
 # the machine-readable perf trajectory (BENCH_all.json).

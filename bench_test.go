@@ -500,3 +500,49 @@ func mustBOPM(b *testing.B, T int) *bopm.Model {
 	}
 	return m
 }
+
+// --- live pricing server ----------------------------------------------------
+
+func benchServer(b *testing.B) *amop.Server {
+	b.Helper()
+	reqs, _ := benchSweepInputs()
+	entries := make([]amop.BookEntry, len(reqs))
+	for i, r := range reqs {
+		entries[i] = amop.BookEntry{Option: r.Option, Model: r.Model, Config: r.Config}
+	}
+	s, err := amop.NewServer(entries, amop.ServerOptions{
+		SpotBucket: 0.25, VolBucket: 0.01, RateBucket: 0.0005,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkServerQuoteCached is the serving fast path: a quote answered
+// straight from the clean surface.
+func BenchmarkServerQuoteCached(b *testing.B) {
+	s := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Quote(i % s.Contracts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerTickSkip is the incremental no-op: a tick whose inputs stay
+// inside every quantization bucket re-solves nothing.
+func BenchmarkServerTickSkip(b *testing.B) {
+	s := benchServer(b)
+	m, _ := s.Market("")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Spot += 1e-9 // wanders inside the 0.25 spot bucket
+		if _, err := s.Tick("", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

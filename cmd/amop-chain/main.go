@@ -29,32 +29,29 @@
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/cliutil"
 )
 
-// contract is one row of the input file.
-type contract struct {
-	Type      string  `json:"type"`
-	S         float64 `json:"S"`
-	K         float64 `json:"K"`
-	R         float64 `json:"R"`
-	V         float64 `json:"V"`
-	Y         float64 `json:"Y"`
-	E         float64 `json:"E"`
-	Steps     int     `json:"steps"`
-	Model     string  `json:"model"`
-	Algorithm string  `json:"algorithm"`
-	European  bool    `json:"european"`
+// out buffers both output modes (NDJSON stream and table). Every exit path —
+// including early failures — must flush it, or the tail of the output is
+// silently truncated; fail() and main's exits all route through flushOut.
+var out = bufio.NewWriter(os.Stdout)
+
+func flushOut() {
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "amop-chain: flushing output:", err)
+	}
 }
 
 // quoteLine is one NDJSON output record.
@@ -98,7 +95,7 @@ func main() {
 	var reqs []amop.Request
 	var origIdx []int
 	for i, c := range contracts {
-		req, err := c.request(*steps)
+		req, err := c.Request(*steps)
 		if err != nil {
 			results[i] = amop.Result{Err: err}
 			continue
@@ -107,7 +104,8 @@ func main() {
 		origIdx = append(origIdx, i)
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
+	var encErr error
 	start := time.Now()
 	last := start
 	stream := func(i int, r amop.Result) {
@@ -122,7 +120,12 @@ func main() {
 		} else {
 			line.Price = r.Price
 		}
-		enc.Encode(line)
+		// Deliveries are serialized by the engine (and the parse-error rows
+		// stream before the batch starts), so encErr needs no lock. The
+		// first write error stops the stream and is reported at exit.
+		if encErr == nil {
+			encErr = enc.Encode(line)
+		}
 	}
 	opts := amop.BatchOptions{Workers: *workers}
 	if *output == "ndjson" {
@@ -146,15 +149,20 @@ func main() {
 	}
 
 	if *output == "table" {
-		fmt.Printf("%4s  %-5s  %10s  %8s  %12s  %s\n", "#", "type", "K", "E", "price", "error")
+		fmt.Fprintf(out, "%4s  %-5s  %10s  %8s  %12s  %s\n", "#", "type", "K", "E", "price", "error")
 		for i, r := range results {
 			c := contracts[i]
 			if r.Err != nil {
-				fmt.Printf("%4d  %-5s  %10.4f  %8.4f  %12s  %v\n", i, c.Type, c.K, c.E, "-", r.Err)
+				fmt.Fprintf(out, "%4d  %-5s  %10.4f  %8.4f  %12s  %v\n", i, c.Type, c.K, c.E, "-", r.Err)
 				continue
 			}
-			fmt.Printf("%4d  %-5s  %10.4f  %8.4f  %12.6f\n", i, c.Type, c.K, c.E, r.Price)
+			fmt.Fprintf(out, "%4d  %-5s  %10.4f  %8.4f  %12.6f\n", i, c.Type, c.K, c.E, r.Price)
 		}
+	}
+	flushOut()
+	if encErr != nil {
+		fmt.Fprintln(os.Stderr, "amop-chain: writing output:", encErr)
+		os.Exit(1)
 	}
 	if !*failFast {
 		fmt.Fprintf(os.Stderr, "amop-chain: %d contracts in %v (%d failed)\n",
@@ -165,53 +173,7 @@ func main() {
 	}
 }
 
-// request translates one input row into an engine request.
-func (c contract) request(defaultSteps int) (amop.Request, error) {
-	req := amop.Request{
-		Option: amop.Option{S: c.S, K: c.K, R: c.R, V: c.V, Y: c.Y, E: c.E},
-		Config: amop.Config{Steps: c.Steps, European: c.European},
-	}
-	switch strings.ToLower(c.Type) {
-	case "call", "c", "":
-		req.Option.Type = amop.Call
-	case "put", "p":
-		req.Option.Type = amop.Put
-	default:
-		return req, fmt.Errorf("unknown option type %q", c.Type)
-	}
-	if req.Config.Steps == 0 {
-		req.Config.Steps = defaultSteps
-	}
-	switch strings.ToLower(c.Model) {
-	case "", "auto":
-		req.Model = amop.AutoModel
-	case "bopm", "binomial":
-		req.Model = amop.Binomial
-	case "topm", "trinomial":
-		req.Model = amop.Trinomial
-	case "bsm", "blackscholesfd":
-		req.Model = amop.BlackScholesFD
-	default:
-		return req, fmt.Errorf("unknown model %q", c.Model)
-	}
-	switch strings.ToLower(c.Algorithm) {
-	case "", "fast":
-		req.Config.Algorithm = amop.Fast
-	case "naive":
-		req.Config.Algorithm = amop.Naive
-	case "naive-parallel":
-		req.Config.Algorithm = amop.NaiveParallel
-	case "tiled":
-		req.Config.Algorithm = amop.Tiled
-	case "recursive":
-		req.Config.Algorithm = amop.Recursive
-	default:
-		return req, fmt.Errorf("unknown algorithm %q", c.Algorithm)
-	}
-	return req, nil
-}
-
-func readContracts(path, format string) ([]contract, error) {
+func readContracts(path, format string) ([]cliutil.Contract, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -231,7 +193,7 @@ func readContracts(path, format string) ([]contract, error) {
 	}
 	switch format {
 	case "json":
-		var cs []contract
+		var cs []cliutil.Contract
 		dec := json.NewDecoder(r)
 		if err := dec.Decode(&cs); err != nil {
 			return nil, fmt.Errorf("parsing JSON contract list: %w", err)
@@ -244,14 +206,14 @@ func readContracts(path, format string) ([]contract, error) {
 	}
 }
 
-func readCSV(r io.Reader) ([]contract, error) {
+func readCSV(r io.Reader) ([]cliutil.Contract, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("reading CSV header: %w", err)
 	}
-	var cs []contract
+	var cs []cliutil.Contract
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -260,7 +222,7 @@ func readCSV(r io.Reader) ([]contract, error) {
 		if err != nil {
 			return nil, err
 		}
-		var c contract
+		var c cliutil.Contract
 		for i, col := range header {
 			if i >= len(rec) {
 				break
@@ -269,7 +231,7 @@ func readCSV(r io.Reader) ([]contract, error) {
 			if val == "" {
 				continue
 			}
-			if err := c.set(strings.TrimSpace(col), val); err != nil {
+			if err := c.Set(strings.TrimSpace(col), val); err != nil {
 				return nil, fmt.Errorf("csv line %d: %w", line, err)
 			}
 		}
@@ -277,54 +239,11 @@ func readCSV(r io.Reader) ([]contract, error) {
 	}
 }
 
-// set assigns one CSV cell by header name.
-func (c *contract) set(col, val string) error {
-	num := func(dst *float64) error {
-		v, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			return fmt.Errorf("column %s: %w", col, err)
-		}
-		*dst = v
-		return nil
-	}
-	switch col {
-	case "type":
-		c.Type = val
-	case "S", "spot":
-		return num(&c.S)
-	case "K", "strike":
-		return num(&c.K)
-	case "R", "rate":
-		return num(&c.R)
-	case "V", "vol", "volatility":
-		return num(&c.V)
-	case "Y", "yield", "dividend":
-		return num(&c.Y)
-	case "E", "expiry":
-		return num(&c.E)
-	case "steps":
-		v, err := strconv.Atoi(val)
-		if err != nil {
-			return fmt.Errorf("column steps: %w", err)
-		}
-		c.Steps = v
-	case "model":
-		c.Model = val
-	case "algorithm":
-		c.Algorithm = val
-	case "european":
-		v, err := strconv.ParseBool(val)
-		if err != nil {
-			return fmt.Errorf("column european: %w", err)
-		}
-		c.European = v
-	default:
-		return fmt.Errorf("unknown column %q", col)
-	}
-	return nil
-}
-
+// fail flushes whatever output was already produced before exiting, so a
+// consumer of partial output sees every completed line plus the error on
+// stderr, never a silently truncated stream.
 func fail(err error) {
+	flushOut()
 	fmt.Fprintln(os.Stderr, "amop-chain:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,258 @@
+// Command amop-serve runs the live pricing server as an HTTP daemon: it
+// registers a contract book at startup, ingests market-data ticks, and
+// answers quotes from the continuously-maintained price surface — serving
+// repeated and near-identical requests from cache, coalescing concurrent
+// quotes for moved contracts into one repricing batch, and shedding load
+// with 503 when the pending queue fills.
+//
+// Usage:
+//
+//	amop-serve -book book.json -addr :8321 \
+//	    -spot-bucket 0.25 -vol-bucket 0.01 -rate-bucket 0.0005 \
+//	    -max-staleness 250ms
+//
+// The book file is a JSON array of contracts in amop-chain's row format plus
+// an optional per-row "symbol" (ticks address contracts by symbol; omitted
+// symbols form one anonymous underlying):
+//
+//	[{"symbol": "AAA", "type": "call", "S": 127.62, "K": 130,
+//	  "R": 0.00163, "V": 0.2, "Y": 0.0163, "E": 1.0, "steps": 10000}]
+//
+// Endpoints:
+//
+//	GET  /healthz           liveness + book size
+//	POST /tick              {"symbol":"AAA","spot":128.1,"vol":0.22,"rate":0.002}
+//	                        omitted fields keep their current value; the
+//	                        response reports how many contracts the tick
+//	                        moved vs skipped (quantization at work)
+//	GET  /quote?id=3        one contract's quote: price, the exact market
+//	                        point it was solved at, its age, staleness flag
+//	GET  /quotes            the whole surface
+//	GET  /metrics           Prometheus text: serving counters (tick
+//	                        reprices/skips, coalesced requests, stale and
+//	                        cache serves) plus the fast-path cache counters
+//
+// Quotes for contracts whose market moved block on a coalesced re-solve
+// unless the surface entry is younger than -max-staleness, in which case the
+// stale price is served immediately with "stale": true.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/cliutil"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8321", "listen address")
+		bookPath     = flag.String("book", "", "contract book file (JSON array; required)")
+		steps        = flag.Int("steps", 10_000, "default time steps T for contracts that do not set steps")
+		spotBucket   = flag.Float64("spot-bucket", 0.25, "spot quantization bucket width (0: exact)")
+		volBucket    = flag.Float64("vol-bucket", 0.01, "volatility quantization bucket width (0: exact)")
+		rateBucket   = flag.Float64("rate-bucket", 0.0005, "rate quantization bucket width (0: exact)")
+		maxStaleness = flag.Duration("max-staleness", 0, "serve a moved contract's previous price if younger than this (0: always re-solve)")
+		maxPending   = flag.Int("max-pending", 1024, "bound on quote requests queued behind one repricing batch (0: unbounded)")
+		workers      = flag.Int("workers", 0, "repricing batch worker bound (0: one per core)")
+	)
+	flag.Parse()
+	if *bookPath == "" {
+		fail(fmt.Errorf("-book is required"))
+	}
+	rows, entries, err := loadBook(*bookPath, *steps)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	s, err := amop.NewServer(entries, amop.ServerOptions{
+		SpotBucket: *spotBucket, VolBucket: *volBucket, RateBucket: *rateBucket,
+		MaxStaleness: *maxStaleness, MaxPending: *maxPending, Workers: *workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("amop-serve: priced %d contracts in %v; listening on %s",
+		s.Contracts(), time.Since(start).Round(time.Millisecond), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux(s, rows)))
+}
+
+// loadBook reads the -book file: a JSON array of contracts in the shared
+// CLI row format (internal/cliutil), with the optional per-row "symbol"
+// naming the underlying each contract serves under.
+func loadBook(path string, defaultSteps int) ([]cliutil.Contract, []amop.BookEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var rows []cliutil.Contract
+	if err := json.NewDecoder(f).Decode(&rows); err != nil {
+		return nil, nil, fmt.Errorf("parsing book %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("no contracts in %s", path)
+	}
+	entries := make([]amop.BookEntry, len(rows))
+	for i, row := range rows {
+		req, err := row.Request(defaultSteps)
+		if err != nil {
+			return nil, nil, fmt.Errorf("book contract %d: %w", i, err)
+		}
+		entries[i] = amop.BookEntry{
+			Symbol: row.Symbol, Option: req.Option, Model: req.Model, Config: req.Config,
+		}
+	}
+	return rows, entries, nil
+}
+
+// tickBody is the POST /tick request; pointer fields distinguish "omitted —
+// keep the current value" from an explicit zero.
+type tickBody struct {
+	Symbol string   `json:"symbol"`
+	Spot   *float64 `json:"spot"`
+	Vol    *float64 `json:"vol"`
+	Rate   *float64 `json:"rate"`
+}
+
+// quoteBody is one GET /quote(s) response row.
+type quoteBody struct {
+	ID     int     `json:"id"`
+	Symbol string  `json:"symbol"`
+	Type   string  `json:"type"`
+	K      float64 `json:"K"`
+	E      float64 `json:"E"`
+	Price  float64 `json:"price"`
+	// Spot/Vol/Rate are the representative market point the price was
+	// solved at (the quantization cell center, not the raw tick).
+	Spot  float64 `json:"spot"`
+	Vol   float64 `json:"vol"`
+	Rate  float64 `json:"rate"`
+	AgeMs float64 `json:"age_ms"`
+	Stale bool    `json:"stale"`
+	Error string  `json:"error,omitempty"`
+}
+
+// newMux builds the daemon's HTTP surface over a running server. It is
+// split from main so tests can drive it through net/http/httptest.
+func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	httpErr := func(w http.ResponseWriter, status int, err error) {
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "contracts": s.Contracts()})
+	})
+
+	mux.HandleFunc("/tick", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST /tick"))
+			return
+		}
+		var body tickBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("parsing tick: %w", err))
+			return
+		}
+		// The omitted-fields merge happens inside TickPartial, under the
+		// server's lock: concurrent partial ticks for one symbol compose
+		// instead of overwriting each other with stale reads.
+		res, err := s.TickPartial(body.Symbol, body.Spot, body.Vol, body.Rate)
+		if err != nil {
+			httpErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"symbol": body.Symbol, "market": res.Market,
+			"moved": res.Moved, "skipped": res.Skipped,
+		})
+	})
+
+	quoteOf := func(id int) (quoteBody, error) {
+		row := rows[id]
+		out := quoteBody{ID: id, Symbol: row.Symbol, Type: row.Type, K: row.K, E: row.E}
+		q, err := s.Quote(id)
+		if err != nil {
+			out.Error = err.Error()
+			return out, err
+		}
+		out.Price = q.Price
+		out.Spot, out.Vol, out.Rate = q.Market.Spot, q.Market.Vol, q.Market.Rate
+		out.AgeMs = float64(time.Since(q.At).Microseconds()) / 1e3
+		out.Stale = q.Stale
+		return out, nil
+	}
+
+	mux.HandleFunc("/quote", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("quote needs an integer ?id: %w", err))
+			return
+		}
+		if id < 0 || id >= s.Contracts() {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("quote id %d out of range [0, %d)", id, s.Contracts()))
+			return
+		}
+		q, err := quoteOf(id)
+		status := http.StatusOK
+		switch {
+		case errors.Is(err, amop.ErrServerBusy):
+			status = http.StatusServiceUnavailable
+		case err != nil:
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, q)
+	})
+
+	mux.HandleFunc("/quotes", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]quoteBody, s.Contracts())
+		for id := range out {
+			out[id], _ = quoteOf(id) // per-row errors are reported in the row
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		c := amop.ReadPerfCounters()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, m := range []struct {
+			name string
+			v    int64
+		}{
+			{"amop_serve_tick_reprices_total", c.TickReprices},
+			{"amop_serve_tick_skips_total", c.TickSkips},
+			{"amop_serve_coalesced_requests_total", c.CoalescedRequests},
+			{"amop_serve_stale_serves_total", c.StaleServes},
+			{"amop_serve_cache_hits_total", c.ServeCacheHits},
+			{"amop_spectrum_cache_hits_total", c.SpectrumCacheHits},
+			{"amop_spectrum_cache_misses_total", c.SpectrumCacheMisses},
+			{"amop_spectrum_cross_res_hits_total", c.SpectrumCrossResHits},
+			{"amop_repricing_memo_hits_total", c.RepricingMemoHits},
+			{"amop_fft_bytes_transformed_total", c.FFTBytesTransformed},
+		} {
+			fmt.Fprintf(w, "%s %d\n", m.name, m.v)
+		}
+	})
+
+	return mux
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amop-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nlstencil/amop"
+)
+
+const testBook = `[
+  {"symbol": "AAA", "type": "call", "S": 127.62, "K": 130, "R": 0.00163,
+   "V": 0.21, "Y": 0.0163, "E": 1.0, "steps": 256},
+  {"symbol": "AAA", "type": "put", "S": 127.62, "K": 120, "R": 0.00163,
+   "V": 0.21, "Y": 0.0163, "E": 1.0, "steps": 256},
+  {"symbol": "BBB", "type": "call", "S": 54.10, "K": 55, "R": 0.00163,
+   "V": 0.33, "E": 0.5, "steps": 256}
+]`
+
+func startTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "book.json")
+	if err := os.WriteFile(path, []byte(testBook), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, entries, err := loadBook(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := amop.NewServer(entries, amop.ServerOptions{
+		SpotBucket: 0.25, VolBucket: 0.01, RateBucket: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(s, rows))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ts := startTestServer(t)
+
+	var health struct {
+		OK        bool `json:"ok"`
+		Contracts int  `json:"contracts"`
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
+	if !health.OK || health.Contracts != 3 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	var q quoteBody
+	getJSON(t, ts.URL+"/quote?id=0", http.StatusOK, &q)
+	if q.Error != "" || q.Price <= 0 || q.Stale {
+		t.Fatalf("initial quote: %+v", q)
+	}
+	first := q.Price
+
+	// A within-bucket tick moves nothing; the quote is byte-identical.
+	var tick struct {
+		Moved   int `json:"moved"`
+		Skipped int `json:"skipped"`
+	}
+	postJSON(t, ts.URL+"/tick", `{"symbol":"AAA","spot":127.70}`, http.StatusOK, &tick)
+	if tick.Moved != 0 || tick.Skipped != 2 {
+		t.Fatalf("within-bucket tick: %+v", tick)
+	}
+	getJSON(t, ts.URL+"/quote?id=0", http.StatusOK, &q)
+	if q.Price != first {
+		t.Fatalf("within-bucket tick changed the price: %v -> %v", first, q.Price)
+	}
+
+	// A cross-bucket tick dirties both AAA contracts; the next quote
+	// re-solves at the new cell center. Omitted vol/rate keep their values.
+	postJSON(t, ts.URL+"/tick", `{"symbol":"AAA","spot":131.0}`, http.StatusOK, &tick)
+	if tick.Moved != 2 || tick.Skipped != 0 {
+		t.Fatalf("cross-bucket tick: %+v", tick)
+	}
+	getJSON(t, ts.URL+"/quote?id=0", http.StatusOK, &q)
+	if q.Spot != 131.125 || q.Price == first {
+		t.Fatalf("post-tick quote not re-solved at the new cell: %+v", q)
+	}
+	if q.Vol != 0.215 { // vol 0.21 in the [0.21, 0.22) bucket, center 0.215
+		t.Fatalf("omitted vol did not keep its bucket: %+v", q)
+	}
+
+	var quotes []quoteBody
+	getJSON(t, ts.URL+"/quotes", http.StatusOK, &quotes)
+	if len(quotes) != 3 {
+		t.Fatalf("quotes: got %d rows", len(quotes))
+	}
+	for _, row := range quotes {
+		if row.Error != "" || row.Price <= 0 {
+			t.Fatalf("quotes row: %+v", row)
+		}
+	}
+
+	// Error paths.
+	getJSON(t, ts.URL+"/quote?id=zzz", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/quote?id=99", http.StatusNotFound, nil)
+	postJSON(t, ts.URL+"/tick", `{"symbol":"ZZZ","spot":1}`, http.StatusNotFound, nil)
+	postJSON(t, ts.URL+"/tick", `not json`, http.StatusBadRequest, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"amop_serve_tick_reprices_total",
+		"amop_serve_tick_skips_total",
+		"amop_serve_coalesced_requests_total",
+		"amop_serve_stale_serves_total",
+		"amop_serve_cache_hits_total",
+		"amop_spectrum_cache_hits_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestLoadBookErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, _, err := loadBook(write("empty.json", `[]`), 100); err == nil {
+		t.Error("empty book should fail")
+	}
+	if _, _, err := loadBook(write("badtype.json", `[{"type":"swaption","S":1,"K":1,"V":0.2,"E":1}]`), 100); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, _, err := loadBook(write("badmodel.json", `[{"type":"call","S":1,"K":1,"V":0.2,"E":1,"model":"heston"}]`), 100); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if _, _, err := loadBook(filepath.Join(dir, "missing.json"), 100); err == nil {
+		t.Error("missing file should fail")
+	}
+}

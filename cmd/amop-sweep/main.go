@@ -48,40 +48,39 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/cliutil"
 )
 
-// spec is the JSON input document.
-type spec struct {
-	Contracts     []contract        `json:"contracts"`
-	Grid          amop.ScenarioGrid `json:"grid"`
-	Scenarios     []amop.Scenario   `json:"scenarios"`
-	Steps         int               `json:"steps"`
-	ScenarioSteps int               `json:"scenario_steps"`
-	Greeks        bool              `json:"greeks"`
+// out buffers the NDJSON stream. Buffering makes the per-cell Encode calls
+// cheap, but it means every exit path — including early failures — must
+// flush, or the tail of the stream is silently truncated; fail() and main's
+// exits all route through flushOut.
+var out = bufio.NewWriter(os.Stdout)
+
+func flushOut() {
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "amop-sweep: flushing output:", err)
+	}
 }
 
-// contract mirrors amop-chain's input row.
-type contract struct {
-	Type      string  `json:"type"`
-	S         float64 `json:"S"`
-	K         float64 `json:"K"`
-	R         float64 `json:"R"`
-	V         float64 `json:"V"`
-	Y         float64 `json:"Y"`
-	E         float64 `json:"E"`
-	Steps     int     `json:"steps"`
-	Model     string  `json:"model"`
-	Algorithm string  `json:"algorithm"`
-	European  bool    `json:"european"`
+// spec is the JSON input document. Contract rows are the shared CLI format
+// (internal/cliutil), so the sweep accepts exactly the rows amop-chain does.
+type spec struct {
+	Contracts     []cliutil.Contract `json:"contracts"`
+	Grid          amop.ScenarioGrid  `json:"grid"`
+	Scenarios     []amop.Scenario    `json:"scenarios"`
+	Steps         int                `json:"steps"`
+	ScenarioSteps int                `json:"scenario_steps"`
+	Greeks        bool               `json:"greeks"`
 }
 
 // cellLine is one NDJSON output record. price and pnl are meaningful only
@@ -140,7 +139,7 @@ func main() {
 	}
 	reqs := make([]amop.Request, len(sp.Contracts))
 	for i, c := range sp.Contracts {
-		req, err := c.request(defaultSteps)
+		req, err := c.Request(defaultSteps)
 		if err != nil {
 			fail(fmt.Errorf("contract %d: %w", i, err))
 		}
@@ -156,7 +155,17 @@ func main() {
 		opts.ScenarioSteps = *scenSteps
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
+	var encErr error
+	emit := func(v any) {
+		// OnResult deliveries are serialized by the engine, and the base
+		// lines are written after the sweep returns, so encErr needs no
+		// lock. The first write error stops the stream; it is reported
+		// after the (already paid-for) sweep completes.
+		if encErr == nil {
+			encErr = enc.Encode(v)
+		}
+	}
 	before := amop.ReadPerfCounters()
 	start := time.Now()
 	last := start
@@ -176,7 +185,7 @@ func main() {
 				line.Greeks = &g
 			}
 		}
-		enc.Encode(line)
+		emit(line)
 	}
 	sw := amop.ScenarioSweep(reqs, scenarios, opts)
 	elapsed := time.Since(start)
@@ -190,7 +199,7 @@ func main() {
 		} else {
 			line.Price = b.Price
 		}
-		enc.Encode(line)
+		emit(line)
 	}
 	for _, r := range sw.Results {
 		if r.Err != nil {
@@ -203,6 +212,11 @@ func main() {
 		}
 	}
 
+	flushOut()
+	if encErr != nil {
+		fmt.Fprintln(os.Stderr, "amop-sweep: writing output:", encErr)
+		os.Exit(1)
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
 			"amop-sweep: %d contracts x %d scenarios = %d cells in %v (%d failed); %d unique repricings (%.1fx dedup), %d cross-resolution spectrum transfers\n",
@@ -214,53 +228,6 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
-}
-
-// request translates one input row into an engine request (amop-chain's
-// mapping, minus the per-row CSV machinery the sweep spec does not need).
-func (c contract) request(defaultSteps int) (amop.Request, error) {
-	req := amop.Request{
-		Option: amop.Option{S: c.S, K: c.K, R: c.R, V: c.V, Y: c.Y, E: c.E},
-		Config: amop.Config{Steps: c.Steps, European: c.European},
-	}
-	switch strings.ToLower(c.Type) {
-	case "call", "c", "":
-		req.Option.Type = amop.Call
-	case "put", "p":
-		req.Option.Type = amop.Put
-	default:
-		return req, fmt.Errorf("unknown option type %q", c.Type)
-	}
-	if req.Config.Steps == 0 {
-		req.Config.Steps = defaultSteps
-	}
-	switch strings.ToLower(c.Model) {
-	case "", "auto":
-		req.Model = amop.AutoModel
-	case "bopm", "binomial":
-		req.Model = amop.Binomial
-	case "topm", "trinomial":
-		req.Model = amop.Trinomial
-	case "bsm", "blackscholesfd":
-		req.Model = amop.BlackScholesFD
-	default:
-		return req, fmt.Errorf("unknown model %q", c.Model)
-	}
-	switch strings.ToLower(c.Algorithm) {
-	case "", "fast":
-		req.Config.Algorithm = amop.Fast
-	case "naive":
-		req.Config.Algorithm = amop.Naive
-	case "naive-parallel":
-		req.Config.Algorithm = amop.NaiveParallel
-	case "tiled":
-		req.Config.Algorithm = amop.Tiled
-	case "recursive":
-		req.Config.Algorithm = amop.Recursive
-	default:
-		return req, fmt.Errorf("unknown algorithm %q", c.Algorithm)
-	}
-	return req, nil
 }
 
 func readSpec(path string) (spec, error) {
@@ -282,7 +249,11 @@ func readSpec(path string) (spec, error) {
 	return sp, nil
 }
 
+// fail flushes whatever portion of the stream was already produced before
+// exiting: a consumer of partial output sees every completed line plus the
+// error on stderr, never a silently truncated stream.
 func fail(err error) {
+	flushOut()
 	fmt.Fprintln(os.Stderr, "amop-sweep:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,128 @@
+// Package cliutil holds the contract-row format shared by the amop
+// command-line tools (amop-chain, amop-sweep, amop-serve): one JSON or CSV
+// row describing a contract, and its translation into an engine request.
+// Keeping the type/model/algorithm spellings in one place means every CLI
+// accepts exactly the same rows.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/nlstencil/amop"
+)
+
+// Contract is one row of a CLI input file. Symbol is only meaningful to the
+// tools that address contracts by underlying (amop-serve); the others
+// ignore it.
+type Contract struct {
+	Symbol    string  `json:"symbol,omitempty"`
+	Type      string  `json:"type"`
+	S         float64 `json:"S"`
+	K         float64 `json:"K"`
+	R         float64 `json:"R"`
+	V         float64 `json:"V"`
+	Y         float64 `json:"Y"`
+	E         float64 `json:"E"`
+	Steps     int     `json:"steps"`
+	Model     string  `json:"model"`
+	Algorithm string  `json:"algorithm"`
+	European  bool    `json:"european"`
+}
+
+// Request translates the row into an engine request; defaultSteps applies
+// when the row does not set steps.
+func (c Contract) Request(defaultSteps int) (amop.Request, error) {
+	req := amop.Request{
+		Option: amop.Option{S: c.S, K: c.K, R: c.R, V: c.V, Y: c.Y, E: c.E},
+		Config: amop.Config{Steps: c.Steps, European: c.European},
+	}
+	switch strings.ToLower(c.Type) {
+	case "call", "c", "":
+		req.Option.Type = amop.Call
+	case "put", "p":
+		req.Option.Type = amop.Put
+	default:
+		return req, fmt.Errorf("unknown option type %q", c.Type)
+	}
+	if req.Config.Steps == 0 {
+		req.Config.Steps = defaultSteps
+	}
+	switch strings.ToLower(c.Model) {
+	case "", "auto":
+		req.Model = amop.AutoModel
+	case "bopm", "binomial":
+		req.Model = amop.Binomial
+	case "topm", "trinomial":
+		req.Model = amop.Trinomial
+	case "bsm", "blackscholesfd":
+		req.Model = amop.BlackScholesFD
+	default:
+		return req, fmt.Errorf("unknown model %q", c.Model)
+	}
+	switch strings.ToLower(c.Algorithm) {
+	case "", "fast":
+		req.Config.Algorithm = amop.Fast
+	case "naive":
+		req.Config.Algorithm = amop.Naive
+	case "naive-parallel":
+		req.Config.Algorithm = amop.NaiveParallel
+	case "tiled":
+		req.Config.Algorithm = amop.Tiled
+	case "recursive":
+		req.Config.Algorithm = amop.Recursive
+	default:
+		return req, fmt.Errorf("unknown algorithm %q", c.Algorithm)
+	}
+	return req, nil
+}
+
+// Set assigns one field by CSV header name.
+func (c *Contract) Set(col, val string) error {
+	num := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("column %s: %w", col, err)
+		}
+		*dst = v
+		return nil
+	}
+	switch col {
+	case "symbol":
+		c.Symbol = val
+	case "type":
+		c.Type = val
+	case "S", "spot":
+		return num(&c.S)
+	case "K", "strike":
+		return num(&c.K)
+	case "R", "rate":
+		return num(&c.R)
+	case "V", "vol", "volatility":
+		return num(&c.V)
+	case "Y", "yield", "dividend":
+		return num(&c.Y)
+	case "E", "expiry":
+		return num(&c.E)
+	case "steps":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("column steps: %w", err)
+		}
+		c.Steps = v
+	case "model":
+		c.Model = val
+	case "algorithm":
+		c.Algorithm = val
+	case "european":
+		v, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("column european: %w", err)
+		}
+		c.European = v
+	default:
+		return fmt.Errorf("unknown column %q", col)
+	}
+	return nil
+}

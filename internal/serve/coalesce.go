@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOverloaded is the coalescer's backpressure signal: an in-flight refresh
+// already has MaxWaiters callers queued behind it, so the new request is shed
+// instead of growing the queue without bound. The HTTP layer maps it to 503.
+var ErrOverloaded = errors.New("serve: too many requests pending on an in-flight repricing")
+
+// flight is one in-progress refresh; waiters block on done and read err.
+// waiters is guarded by the owning Coalescer's mu; keeping the count on the
+// flight (not the Coalescer) means callers still draining a finished flight
+// are never charged against the next flight's MaxWaiters bound.
+type flight struct {
+	done    chan struct{}
+	err     error
+	waiters int
+}
+
+// Coalescer folds concurrent invocations of one idempotent refresh function
+// into a single flight, singleflight-style: the first caller becomes the
+// leader and runs the function; callers arriving while it runs wait for its
+// result instead of running their own copy. The refresh must be idempotent
+// and self-scoping (it discovers what needs doing when it runs) — a joiner
+// whose work item arrived after the leader took its snapshot simply calls Do
+// again, which is why Do reports whether the caller joined or led.
+type Coalescer struct {
+	// MaxWaiters bounds how many callers may queue behind the in-flight
+	// refresh; further callers fail fast with ErrOverloaded. Zero means
+	// unbounded.
+	MaxWaiters int
+
+	mu  sync.Mutex
+	cur *flight
+}
+
+// Do runs fn, coalescing with a concurrent in-flight run. It reports whether
+// this caller joined an existing flight (true) or led its own (false), and
+// returns the flight's error.
+func (c *Coalescer) Do(fn func() error) (joined bool, err error) {
+	c.mu.Lock()
+	if f := c.cur; f != nil {
+		if c.MaxWaiters > 0 && f.waiters >= c.MaxWaiters {
+			c.mu.Unlock()
+			return true, ErrOverloaded
+		}
+		f.waiters++
+		c.mu.Unlock()
+		<-f.done
+		return true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.cur = f
+	c.mu.Unlock()
+
+	func() {
+		// A panic escaping fn must not leave the flight registered and its
+		// done channel unclosed — that would wedge every future caller
+		// behind a flight that will never finish. Convert it to the
+		// flight's error: the leader and every waiter see it and can retry.
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("serve: coalesced refresh panicked: %v", r)
+			}
+		}()
+		f.err = fn()
+	}()
+
+	c.mu.Lock()
+	c.cur = nil
+	c.mu.Unlock()
+	close(f.done)
+	return false, f.err
+}

@@ -1,0 +1,55 @@
+package serve
+
+import "sync/atomic"
+
+// The serving counters are process-wide and cumulative, like the fast-path
+// spectrum-cache counters they sit next to in amop.ReadPerfCounters: sample
+// before and after a workload and subtract to attribute activity to it.
+var (
+	tickReprices      atomic.Int64
+	tickSkips         atomic.Int64
+	coalescedRequests atomic.Int64
+	staleServes       atomic.Int64
+	cacheServes       atomic.Int64
+)
+
+// AddTickReprices records contracts a tick marked for repricing (their
+// quantized market inputs moved to a new cell).
+func AddTickReprices(n int64) { tickReprices.Add(n) }
+
+// AddTickSkips records contracts a tick left clean (inputs moved, but not
+// out of their quantization cell) — the incremental path's saved work.
+func AddTickSkips(n int64) { tickSkips.Add(n) }
+
+// AddCoalescedRequests records quote requests that joined an in-flight
+// repricing batch instead of starting their own.
+func AddCoalescedRequests(n int64) { coalescedRequests.Add(n) }
+
+// AddStaleServes records quotes answered from a dirty-but-fresh surface
+// entry under the server's staleness bound instead of blocking on a
+// re-solve.
+func AddStaleServes(n int64) { staleServes.Add(n) }
+
+// AddCacheServes records quotes answered directly from a clean surface
+// entry — the serving fast path.
+func AddCacheServes(n int64) { cacheServes.Add(n) }
+
+// Stats is a snapshot of the cumulative serving counters.
+type Stats struct {
+	TickReprices      int64
+	TickSkips         int64
+	CoalescedRequests int64
+	StaleServes       int64
+	CacheServes       int64
+}
+
+// ReadStats returns the current counter snapshot.
+func ReadStats() Stats {
+	return Stats{
+		TickReprices:      tickReprices.Load(),
+		TickSkips:         tickSkips.Load(),
+		CoalescedRequests: coalescedRequests.Load(),
+		StaleServes:       staleServes.Load(),
+		CacheServes:       cacheServes.Load(),
+	}
+}

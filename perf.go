@@ -3,6 +3,7 @@ package amop
 import (
 	"github.com/nlstencil/amop/internal/fft"
 	"github.com/nlstencil/amop/internal/linstencil"
+	"github.com/nlstencil/amop/internal/serve"
 )
 
 // PerfCounters is a snapshot of the process-wide fast-path performance
@@ -48,6 +49,22 @@ type PerfCounters struct {
 	// strictly positive hit count.
 	RepricingMemoHits   int64
 	RepricingMemoMisses int64
+	// TickReprices / TickSkips count, across every live pricing Server in
+	// the process, contracts a market tick marked for re-solve (their
+	// quantized inputs moved to a new cell) versus left untouched (inputs
+	// wandered inside their cell). A healthy tick stream over a sensibly
+	// bucketed book shows TickSkips well above TickReprices — that gap is
+	// the work the incremental path never does.
+	TickReprices int64
+	TickSkips    int64
+	// CoalescedRequests counts quote requests that joined an in-flight
+	// repricing batch instead of starting their own; StaleServes counts
+	// quotes answered from a dirty-but-fresh surface under the server's
+	// MaxStaleness bound; ServeCacheHits counts quotes answered straight
+	// from a clean surface entry (the serving fast path).
+	CoalescedRequests int64
+	StaleServes       int64
+	ServeCacheHits    int64
 }
 
 // ReadPerfCounters returns the current counter snapshot.
@@ -55,6 +72,7 @@ func ReadPerfCounters() PerfCounters {
 	hits, misses, bytes, entries := linstencil.SpectrumCacheStats()
 	symHits, symMisses, crossRes := linstencil.SymbolCacheStats()
 	memoHits, memoMisses := RepricingMemoStats()
+	srv := serve.ReadStats()
 	return PerfCounters{
 		SpectrumCacheHits:    hits,
 		SpectrumCacheMisses:  misses,
@@ -66,5 +84,10 @@ func ReadPerfCounters() PerfCounters {
 		FFTBytesTransformed:  fft.TransformedBytes(),
 		RepricingMemoHits:    memoHits,
 		RepricingMemoMisses:  memoMisses,
+		TickReprices:         srv.TickReprices,
+		TickSkips:            srv.TickSkips,
+		CoalescedRequests:    srv.CoalescedRequests,
+		StaleServes:          srv.StaleServes,
+		ServeCacheHits:       srv.CacheServes,
 	}
 }

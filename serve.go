@@ -1,0 +1,440 @@
+// Live pricing server: a continuously-maintained price surface over a
+// registered contract book, driven by market-data ticks and queried by
+// quote requests. This is the serving layer the ROADMAP's "heavy traffic"
+// north star asks for, one level above PriceBatch and ScenarioSweep: where
+// the batch engine amortizes one call's redundancy and the sweep engine one
+// grid's, the server amortizes redundancy *across a request stream* —
+//
+//   - incremental repricing: each contract's market inputs (spot, vol, rate)
+//     are quantized into buckets (internal/serve.Quantizer), and a tick only
+//     marks a contract for re-solve when its quantized inputs actually move
+//     to a new cell. Ticks that wander inside a cell re-solve nothing
+//     (TickSkips); prices are solved at the cell's representative point, so
+//     every tick in a cell is by construction the same pricing problem.
+//   - request coalescing: quotes for dirty contracts do not each run their
+//     own solve. The first becomes the leader of a repricing flight that
+//     collects the entire dirty set into one PriceBatch (sharing the batch
+//     engine's dedup plan, lattice-model cache and the process-wide
+//     kernel-spectrum cache underneath); concurrent quotes join that flight
+//     and wait for its result (CoalescedRequests). The flight's waiter queue
+//     is bounded — beyond MaxPending the server sheds load with
+//     ErrServerBusy — and the batch itself draws its workers from
+//     internal/par's global spawn budget, so a saturated server degrades to
+//     serial solves instead of oversubscribing the machine.
+//   - bounded staleness: with MaxStaleness > 0, a quote for a dirty contract
+//     whose last solve is fresher than the bound is answered immediately from
+//     the stale surface (StaleServes) instead of blocking on the flight;
+//     MaxStaleness = 0 always blocks until the surface is current.
+//
+// All four serving counters are process-wide and surface through
+// ReadPerfCounters; cmd/amop-serve wraps the server in an HTTP daemon with a
+// /metrics endpoint.
+package amop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/nlstencil/amop/internal/serve"
+)
+
+// ErrServerBusy is returned by Server.Quote when the repricing flight's
+// bounded waiter queue (ServerOptions.MaxPending) is full: the request is
+// shed immediately instead of queueing without bound. It is the server's
+// backpressure signal; HTTP layers should map it to 503.
+var ErrServerBusy = serve.ErrOverloaded
+
+// Market is the live market state of one underlying symbol: the three inputs
+// ticks move. Contract terms (strike, expiry, dividend yield, type) are fixed
+// at registration; spot, vol and rate are overridden per tick.
+type Market struct {
+	Spot float64 `json:"spot"`
+	Vol  float64 `json:"vol"`
+	Rate float64 `json:"rate"`
+}
+
+// BookEntry registers one contract with the live pricing server.
+type BookEntry struct {
+	// Symbol names the underlying; ticks address contracts by symbol. The
+	// empty string is a valid symbol (a single-underlying book needs no
+	// names). The first entry of each symbol seeds the symbol's market from
+	// its Option's S, V and R; later entries on the same symbol share that
+	// market state.
+	Symbol string
+	// Option carries the contract terms. S, V and R serve only as the
+	// symbol's market seed (see Symbol); they are overridden by the live
+	// market on every solve.
+	Option Option
+	// Model is the discretization; AutoModel picks the natural model, as in
+	// PriceBatch.
+	Model Model
+	// Config carries steps and algorithm, as in Price. Config.Steps is
+	// required (>= 1).
+	Config Config
+}
+
+// ServerOptions configures NewServer.
+type ServerOptions struct {
+	// SpotBucket, VolBucket and RateBucket are the quantization bucket
+	// widths for the three market inputs (absolute units: price, vol points,
+	// rate). A tick is a no-op for every contract whose bucketed inputs do
+	// not move; prices are solved at bucket centers, so the worst-case input
+	// error is half a bucket per axis. Zero disables quantization on that
+	// axis — every change, however small, triggers a re-solve.
+	SpotBucket, VolBucket, RateBucket float64
+	// MaxStaleness bounds how stale a served quote may be: a quote for a
+	// contract marked dirty by a tick is still answered from the old surface
+	// if that price is younger than MaxStaleness. Zero (the default) always
+	// blocks dirty quotes on a re-solve.
+	MaxStaleness time.Duration
+	// MaxPending bounds how many quote requests may queue behind an
+	// in-flight repricing batch; beyond it Quote fails fast with
+	// ErrServerBusy. Zero means unbounded.
+	MaxPending int
+	// Workers bounds each repricing batch's worker pool, as in BatchOptions.
+	Workers int
+	// ColdStart skips the initial synchronous pricing of the book. The first
+	// quotes then pay the first solve; by default NewServer returns with the
+	// whole surface priced.
+	ColdStart bool
+}
+
+// TickResult summarizes one tick's effect on the book.
+type TickResult struct {
+	// Moved counts contracts whose quantized inputs changed cell — they are
+	// now dirty and will be re-solved by the next repricing flight.
+	Moved int
+	// Skipped counts contracts whose quantized inputs stayed in their cell —
+	// their surface prices remain exactly valid and no work is queued.
+	Skipped int
+	// Market is the symbol's full market state after the tick applied.
+	Market Market
+}
+
+// ServedQuote is one answered quote: the price and the exact market point it
+// was solved at (the quantization cell's representative), with its solve time
+// and staleness flag.
+type ServedQuote struct {
+	Price float64
+	// Market is the representative market point the price was solved at.
+	Market Market
+	// At is when the price was solved.
+	At time.Time
+	// Stale reports that the contract was dirty and the quote was served
+	// from the previous surface under the MaxStaleness bound.
+	Stale bool
+}
+
+// bookContract is one registered contract plus its surface slot. cur is the
+// quantization cell of the live market; priced is the cell the stored price
+// was solved in. The contract is dirty when they differ (or nothing has been
+// solved yet).
+type bookContract struct {
+	entry BookEntry
+
+	cur    serve.Key
+	curRep Market
+
+	valid     bool
+	priced    serve.Key
+	pricedRep Market
+	price     float64
+	err       error
+	at        time.Time
+}
+
+// Server maintains a live price surface over a contract book. Methods are
+// safe for concurrent use: ticks and quotes may race freely.
+type Server struct {
+	quant        serve.Quantizer
+	maxStaleness time.Duration
+	workers      int
+
+	mu      sync.Mutex
+	book    []bookContract
+	markets map[string]Market
+	// bySymbol indexes the book by symbol (built once in NewServer), so a
+	// tick touches only its own symbol's contracts instead of scanning the
+	// whole book under the lock.
+	bySymbol map[string][]int
+
+	flights serve.Coalescer
+
+	// now and flightBarrier are test seams: now supplies timestamps
+	// (staleness tests inject a fake clock), flightBarrier — when non-nil —
+	// runs after a repricing batch solves and before its write-back, outside
+	// the server lock (the mid-batch-tick tests stand in this gap).
+	now           func() time.Time
+	flightBarrier func()
+}
+
+// NewServer registers the book and returns a serving surface. Unless
+// ServerOptions.ColdStart is set, the whole book is priced synchronously
+// before NewServer returns, so the first quotes are already cache serves.
+// Per-contract pricing failures (a put under a call-only model, say) are
+// stored in the surface and surfaced by Quote for that contract only.
+func NewServer(book []BookEntry, opts ServerOptions) (*Server, error) {
+	if len(book) == 0 {
+		return nil, errors.New("amop: NewServer needs a non-empty contract book")
+	}
+	s := &Server{
+		quant: serve.Quantizer{
+			SpotBucket: opts.SpotBucket,
+			VolBucket:  opts.VolBucket,
+			RateBucket: opts.RateBucket,
+		},
+		maxStaleness: max(opts.MaxStaleness, 0),
+		workers:      opts.Workers,
+		book:         make([]bookContract, len(book)),
+		markets:      make(map[string]Market),
+		bySymbol:     make(map[string][]int),
+		now:          time.Now,
+	}
+	s.flights.MaxWaiters = opts.MaxPending
+	for i, e := range book {
+		if e.Config.Steps < 1 {
+			return nil, fmt.Errorf("amop: book entry %d: Config.Steps = %d must be >= 1", i, e.Config.Steps)
+		}
+		m, ok := s.markets[e.Symbol]
+		if !ok {
+			m = Market{Spot: e.Option.S, Vol: e.Option.V, Rate: e.Option.R}
+			s.markets[e.Symbol] = m
+		}
+		c := bookContract{entry: e}
+		c.cur = s.quant.Key(m.Spot, m.Vol, m.Rate)
+		c.curRep = s.rep(m)
+		s.book[i] = c
+		s.bySymbol[e.Symbol] = append(s.bySymbol[e.Symbol], i)
+	}
+	if !opts.ColdStart {
+		if err := s.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) rep(m Market) Market {
+	sp, vo, ra := s.quant.Rep(m.Spot, m.Vol, m.Rate)
+	return Market{Spot: sp, Vol: vo, Rate: ra}
+}
+
+// Contracts reports the size of the registered book. Quote ids are
+// [0, Contracts()).
+func (s *Server) Contracts() int { return len(s.book) }
+
+// Market returns the live market state of a symbol.
+func (s *Server) Market(symbol string) (Market, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.markets[symbol]
+	return m, ok
+}
+
+// Tick ingests a market-data update for one symbol: the symbol's market
+// becomes m, and every contract on the symbol whose quantized inputs moved
+// to a new cell is marked dirty. Contracts whose inputs stayed in their cell
+// keep their surface prices — that skip is the incremental path's entire
+// point, and both counts feed the process-wide TickReprices/TickSkips
+// counters. Tick never solves anything itself; dirty contracts are re-solved
+// by the next quote's repricing flight (or an explicit Flush).
+func (s *Server) Tick(symbol string, m Market) (TickResult, error) {
+	return s.tick(symbol, func(Market) Market { return m })
+}
+
+// TickPartial applies a partial market update: non-nil fields replace the
+// symbol's current values, nil fields keep them. The read-modify-write runs
+// atomically under the server's lock, so concurrent partial ticks for one
+// symbol compose instead of losing each other's fields — this is the merge
+// an HTTP tick endpoint with optional fields needs.
+func (s *Server) TickPartial(symbol string, spot, vol, rate *float64) (TickResult, error) {
+	return s.tick(symbol, func(cur Market) Market {
+		if spot != nil {
+			cur.Spot = *spot
+		}
+		if vol != nil {
+			cur.Vol = *vol
+		}
+		if rate != nil {
+			cur.Rate = *rate
+		}
+		return cur
+	})
+}
+
+// tick applies update to the symbol's market under the lock and re-keys the
+// symbol's contracts against the new state.
+func (s *Server) tick(symbol string, update func(Market) Market) (TickResult, error) {
+	s.mu.Lock()
+	cur, ok := s.markets[symbol]
+	if !ok {
+		s.mu.Unlock()
+		return TickResult{}, fmt.Errorf("amop: no contracts registered for symbol %q", symbol)
+	}
+	m := update(cur)
+	s.markets[symbol] = m
+	k := s.quant.Key(m.Spot, m.Vol, m.Rate)
+	rep := s.rep(m)
+	res := TickResult{Market: m}
+	for _, i := range s.bySymbol[symbol] {
+		c := &s.book[i]
+		if c.cur == k {
+			res.Skipped++
+			continue
+		}
+		c.cur = k
+		c.curRep = rep
+		res.Moved++
+	}
+	s.mu.Unlock()
+	serve.AddTickReprices(int64(res.Moved))
+	serve.AddTickSkips(int64(res.Skipped))
+	return res, nil
+}
+
+// quoteRounds bounds how many repricing flights one Quote call will run or
+// wait on before it stops chasing the market: a symbol ticking across cells
+// faster than its book can be solved would otherwise starve every quote (and
+// burn solves that are obsolete on arrival). After quoteRounds flights the
+// freshest solved surface is served, flagged stale, regardless of
+// MaxStaleness.
+const quoteRounds = 3
+
+// Quote answers one contract from the surface. Clean contracts are served
+// directly (the fast path). A dirty contract is either served stale — if its
+// last solve is within MaxStaleness — or resolved through a coalesced
+// repricing flight that re-solves the whole dirty set in one PriceBatch;
+// concurrent quotes share that flight. Quote retries until the contract's
+// surface entry matches the live market, so a tick landing mid-flight simply
+// costs one more round — but at most quoteRounds rounds: a market outrunning
+// the solver yields the freshest available price, marked Stale, rather than
+// blocking forever. With a full waiter queue Quote fails fast with
+// ErrServerBusy.
+func (s *Server) Quote(id int) (ServedQuote, error) {
+	if id < 0 || id >= len(s.book) {
+		return ServedQuote{}, fmt.Errorf("amop: quote id %d out of range [0, %d)", id, len(s.book))
+	}
+	counted := false
+	for round := 0; ; round++ {
+		s.mu.Lock()
+		c := &s.book[id]
+		if c.valid && c.priced == c.cur {
+			q, err := c.served(false)
+			s.mu.Unlock()
+			// Only a first-round serve is the fast path; a quote that ran
+			// or waited on a flight must not inflate the cache-hit rate.
+			if err == nil && round == 0 {
+				serve.AddCacheServes(1)
+			}
+			return q, err
+		}
+		if c.valid && c.err == nil &&
+			(round >= quoteRounds || (s.maxStaleness > 0 && s.now().Sub(c.at) <= s.maxStaleness)) {
+			q, _ := c.served(true)
+			s.mu.Unlock()
+			serve.AddStaleServes(1)
+			return q, nil
+		}
+		if c.valid && c.err != nil && round >= quoteRounds {
+			err := c.err
+			s.mu.Unlock()
+			return ServedQuote{}, err
+		}
+		s.mu.Unlock()
+		joined, err := s.flights.Do(s.repriceDirty)
+		if err != nil {
+			return ServedQuote{}, err
+		}
+		if joined && !counted {
+			// Once per request, however many flights the retries span.
+			counted = true
+			serve.AddCoalescedRequests(1)
+		}
+	}
+}
+
+// served snapshots the contract's surface entry; the caller holds s.mu.
+func (c *bookContract) served(stale bool) (ServedQuote, error) {
+	if c.err != nil {
+		return ServedQuote{}, c.err
+	}
+	return ServedQuote{Price: c.price, Market: c.pricedRep, At: c.at, Stale: stale}, nil
+}
+
+// Flush synchronously re-solves every dirty contract, coalescing with any
+// in-flight repricing, and returns once the whole surface matches the live
+// market. Per-contract pricing errors are stored in the surface (and
+// reported by Quote); Flush itself only fails on backpressure.
+func (s *Server) Flush() error {
+	for {
+		s.mu.Lock()
+		dirty := false
+		for i := range s.book {
+			c := &s.book[i]
+			if !c.valid || c.priced != c.cur {
+				dirty = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !dirty {
+			return nil
+		}
+		if _, err := s.flights.Do(s.repriceDirty); err != nil {
+			return err
+		}
+	}
+}
+
+// repriceDirty is the flight body: snapshot the dirty set, solve it as one
+// PriceBatch at the cells' representative market points, write the surface
+// back. The batch shares the engine's dedup plan and lattice-model cache —
+// identical contracts collapse to one solve — and, underneath, the
+// process-wide kernel-spectrum cache, so a tick-to-tick re-solve at an
+// already-seen step count runs at steady-state cache hit rates. A tick
+// landing between snapshot and write-back moves cur ahead of the solved key;
+// the write-back then leaves the contract dirty (priced != cur) and the next
+// flight picks it up — stale solves are never published as current.
+func (s *Server) repriceDirty() error {
+	s.mu.Lock()
+	var (
+		ids  []int
+		keys []serve.Key
+		reps []Market
+		reqs []Request
+	)
+	for i := range s.book {
+		c := &s.book[i]
+		if c.valid && c.priced == c.cur {
+			continue
+		}
+		o := c.entry.Option
+		o.S, o.V, o.R = c.curRep.Spot, c.curRep.Vol, c.curRep.Rate
+		ids = append(ids, i)
+		keys = append(keys, c.cur)
+		reps = append(reps, c.curRep)
+		reqs = append(reqs, Request{Option: o, Model: c.entry.Model, Config: c.entry.Config})
+	}
+	s.mu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	res := PriceBatch(reqs, BatchOptions{Workers: s.workers})
+	if s.flightBarrier != nil {
+		s.flightBarrier()
+	}
+	at := s.now()
+	s.mu.Lock()
+	for j, i := range ids {
+		c := &s.book[i]
+		c.price, c.err = res[j].Price, res[j].Err
+		c.valid = true
+		c.priced = keys[j]
+		c.pricedRep = reps[j]
+		c.at = at
+	}
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,112 @@
+package amop
+
+import (
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLoadSmoke is the CI bench-smoke gate for the serving path: start
+// a live server over the 45-contract book, drive it with ticks and quotes,
+// and assert the three serving mechanisms actually engage — a within-bucket
+// tick skips the whole book, concurrent quotes for a moved book coalesce
+// into one repricing flight, and the p50 served-from-cache quote is cheaper
+// than pricing a contract cold. Opt-in via AMOP_BENCH_SMOKE=1 — wall-clock
+// assertions do not belong in the default tier-1 run.
+func TestServeLoadSmoke(t *testing.T) {
+	if os.Getenv("AMOP_BENCH_SMOKE") == "" {
+		t.Skip("set AMOP_BENCH_SMOKE=1 to run the serve-path smoke gate")
+	}
+	steps := 1000
+	reqs := sweepBook(steps)
+	entries := make([]BookEntry, len(reqs))
+	for i, r := range reqs {
+		entries[i] = BookEntry{Option: r.Option, Model: r.Model, Config: r.Config}
+	}
+	before := ReadPerfCounters()
+	s, err := NewServer(entries, ServerOptions{SpotBucket: 0.25, VolBucket: 0.01, RateBucket: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental path: a within-bucket wander re-solves nothing.
+	res, err := s.Tick("", Market{Spot: 127.70, Vol: 0.2, Rate: 0.00163})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 0 || res.Skipped != len(entries) {
+		t.Fatalf("within-bucket tick: moved %d skipped %d, want 0/%d", res.Moved, res.Skipped, len(entries))
+	}
+
+	// Served-from-cache latency: p50 of quotes on the clean surface must
+	// beat pricing one contract cold (median of several solves).
+	lat := make([]time.Duration, 0, 101)
+	for i := 0; i < cap(lat); i++ {
+		start := time.Now()
+		if _, err := s.Quote(i % s.Contracts()); err != nil {
+			t.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	cold := make([]time.Duration, 0, 5)
+	for i := 0; i < cap(cold); i++ {
+		start := time.Now()
+		if r := PriceBatch(reqs[:1], BatchOptions{}); r[0].Err != nil {
+			t.Fatal(r[0].Err)
+		}
+		cold = append(cold, time.Since(start))
+	}
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	coldP50 := cold[len(cold)/2]
+	t.Logf("p50 cache serve %v vs cold pricing %v at T=%d", p50, coldP50, steps)
+	if p50 >= coldP50 {
+		t.Errorf("cache-served quote p50 (%v) not faster than cold pricing (%v)", p50, coldP50)
+	}
+
+	// Coalescing: park the repricing flight in the barrier so a concurrent
+	// quote demonstrably joins it instead of solving on its own.
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.flightBarrier = func() {
+		once.Do(func() { close(inFlight) })
+		<-release // closed after the joiner queues; later flights pass through
+	}
+	if _, err := s.Tick("", Market{Spot: 131.00, Vol: 0.2, Rate: 0.00163}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	quote := func() {
+		defer wg.Done()
+		if _, err := s.Quote(0); err != nil {
+			t.Errorf("quote: %v", err)
+		}
+	}
+	wg.Add(2)
+	go quote() // leader: solves, then parks in the barrier
+	<-inFlight
+	go quote() // joiner: finds the flight pending and waits on it
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	after := ReadPerfCounters()
+	for _, c := range []struct {
+		name           string
+		before, after  int64
+		wantAtLeastOne bool
+	}{
+		{"TickSkips", before.TickSkips, after.TickSkips, true},
+		{"TickReprices", before.TickReprices, after.TickReprices, true},
+		{"CoalescedRequests", before.CoalescedRequests, after.CoalescedRequests, true},
+		{"ServeCacheHits", before.ServeCacheHits, after.ServeCacheHits, true},
+	} {
+		if c.wantAtLeastOne && c.after-c.before < 1 {
+			t.Errorf("%s did not move (%d -> %d)", c.name, c.before, c.after)
+		}
+	}
+}
