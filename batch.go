@@ -133,6 +133,7 @@ func runPool(n, workers int, job func(i int)) {
 	var wg sync.WaitGroup
 	for k := 0; k < spawn; k++ {
 		wg.Add(1)
+		//amop:allow-go budgeted spawn: exactly one goroutine per token claimed from par.TryAcquire above
 		go func() {
 			defer wg.Done()
 			work()

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/cliutil"
+)
+
+// FuzzTickMerge drives POST /tick with arbitrary request bodies. The
+// handler faces raw market-data feeds, so the bar is: never panic, always
+// answer valid JSON with a deliberate status, and keep the partial-tick
+// merge idempotent — replaying the exact tick that just succeeded must move
+// nothing, because every bucketed input is already in its cell.
+func FuzzTickMerge(f *testing.F) {
+	entries := []amop.BookEntry{
+		{Symbol: "AAA", Option: amop.Option{Type: amop.Call, S: 127.62, K: 130, R: 0.00163, V: 0.21, E: 1}, Model: amop.AutoModel, Config: amop.Config{Steps: 64}},
+		{Symbol: "BBB", Option: amop.Option{Type: amop.Put, S: 54.10, K: 55, R: 0.00163, V: 0.33, E: 0.5}, Model: amop.AutoModel, Config: amop.Config{Steps: 64}},
+	}
+	// ColdStart: the fuzz target exercises the tick parse/merge path, not
+	// the solver; skipping the initial surface solve keeps iterations fast.
+	s, err := amop.NewServer(entries, amop.ServerOptions{
+		SpotBucket: 0.25, VolBucket: 0.01, RateBucket: 0.0005, ColdStart: true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rows := []cliutil.Contract{
+		{Symbol: "AAA", Type: "call", K: 130, E: 1},
+		{Symbol: "BBB", Type: "put", K: 55, E: 0.5},
+	}
+	mux := newMux(s, rows)
+
+	f.Add([]byte(`{"symbol":"AAA","spot":128.1}`))
+	f.Add([]byte(`{"symbol":"AAA","vol":0.25,"rate":0.002}`))
+	f.Add([]byte(`{"symbol":"BBB","spot":54.4,"vol":0.3,"rate":0.001}`))
+	f.Add([]byte(`{"symbol":"ZZZ","spot":1}`))
+	f.Add([]byte(`{"spot":"not a number"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"symbol":"AAA","spot":-1e308,"vol":1e308,"rate":-0.5}`))
+
+	post := func(body []byte) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/tick", bytes.NewReader(body)))
+		return rec
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := post(body)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound:
+		default:
+			t.Errorf("tick %q: unexpected status %d", body, rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Errorf("tick %q: invalid JSON response %q", body, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK {
+			return
+		}
+		// Replay: the same tick against the market it just produced must
+		// leave every contract in its quantization cell.
+		replay := post(body)
+		if replay.Code != http.StatusOK {
+			t.Fatalf("replaying accepted tick %q failed with status %d", body, replay.Code)
+		}
+		var res struct {
+			Moved int `json:"moved"`
+		}
+		if err := json.Unmarshal(replay.Body.Bytes(), &res); err != nil {
+			t.Fatalf("replay response: %v", err)
+		}
+		if res.Moved != 0 {
+			t.Errorf("replayed tick %q moved %d contracts; the merge is not idempotent", body, res.Moved)
+		}
+	})
+}

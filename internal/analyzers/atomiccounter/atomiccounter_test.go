@@ -1,0 +1,12 @@
+package atomiccounter_test
+
+import (
+	"testing"
+
+	"github.com/nlstencil/amop/internal/analyzers/atomiccounter"
+	"github.com/nlstencil/amop/internal/analyzers/framework/analysistest"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccounter.Analyzer, "counters")
+}

@@ -1,0 +1,59 @@
+// Package counters exercises the atomiccounter analyzer: sound uses of
+// atomic-typed and legacy plain-integer counters, and the copies and plain
+// accesses it must flag.
+package counters
+
+import "sync/atomic"
+
+// Atomic-typed counters: every use must be a method call or an address-of.
+var (
+	hits     atomic.Int64
+	fftBytes atomic.Uint64
+)
+
+// A legacy plain-integer counter: blessed as atomic by the AddInt64 below,
+// so every other access must be atomic too.
+var legacyHits int64
+
+// A plain package variable never touched by sync/atomic: free to use plainly.
+var plainTotal int64
+
+func recordHit() {
+	hits.Add(1)
+	fftBytes.Add(8)
+	atomic.AddInt64(&legacyHits, 1)
+	plainTotal++
+}
+
+func readStats() (int64, uint64, int64) {
+	return hits.Load(), fftBytes.Load(), atomic.LoadInt64(&legacyHits)
+}
+
+// Address-of aliases the counter; accesses through the pointer stay atomic.
+func alias() *atomic.Int64 { return &hits }
+
+func okPlain() int64 {
+	plainTotal += 2
+	return plainTotal
+}
+
+// ---- shapes the analyzer must flag ----
+
+func badCopy() int64 {
+	snapshot := hits // want `atomic counter hits must be used only through its sync/atomic methods`
+	return snapshot.Load()
+}
+
+func badValueArg() int64 {
+	return consume(hits) // want `atomic counter hits must be used only through its sync/atomic methods`
+}
+
+func consume(v atomic.Int64) int64 { return v.Load() }
+
+func badLegacyWrite() {
+	legacyHits++ // want `counter legacyHits is accessed with sync/atomic elsewhere in this package; this plain access is a data race`
+}
+
+func badLegacyRead() int64 {
+	return legacyHits // want `counter legacyHits is accessed with sync/atomic elsewhere in this package; this plain access is a data race`
+}

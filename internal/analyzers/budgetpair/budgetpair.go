@@ -1,0 +1,65 @@
+// Package budgetpair defines an analyzer verifying that every token count
+// obtained from internal/par's global spawn budget is returned.
+//
+// The invariant: par.TryAcquire claims worker tokens from the process-wide
+// spawn budget; par.Release must return them on every path, or the budget
+// shrinks for the lifetime of the process and every later parallel region
+// silently degrades toward serial execution — the leak is invisible to
+// tests (nothing crashes, nothing races) and only shows up as a throughput
+// cliff under sustained traffic.
+//
+// Accepted shapes: a Release lexically reaching every exit (direct or via
+// defer, the preferred form), a Release inside a function literal the
+// tokens are handed to, an early return under a zero-token guard
+// (Release(0) is a no-op, so paths proven to hold zero tokens owe
+// nothing), and ownership transfer (the count is passed to another
+// function, stored, or returned — the obligation moves with it).
+package budgetpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework"
+	"github.com/nlstencil/amop/internal/analyzers/pairing"
+)
+
+const parPath = framework.ModulePath + "/internal/par"
+
+var Analyzer = &framework.Analyzer{
+	Name: "budgetpair",
+	Doc: "check that par.TryAcquire tokens always reach par.Release\n\n" +
+		"A leaked token permanently shrinks the process-wide spawn budget,\n" +
+		"degrading every later parallel region toward serial execution.",
+	Run: run,
+}
+
+var spec = &pairing.Spec{
+	IsAcquire: func(info *types.Info, call *ast.CallExpr) (string, bool) {
+		if framework.IsCallTo(info, call, parPath, "TryAcquire") {
+			return "par.TryAcquire", true
+		}
+		return "", false
+	},
+	IsRelease: func(info *types.Info, call *ast.CallExpr) (string, bool) {
+		if framework.IsCallTo(info, call, parPath, "Release") {
+			return "par.Release", true
+		}
+		return "", false
+	},
+	ReleaseLabel: "par.Release",
+	// Token counts handed to another function delegate the release; the
+	// callee (or the struct the count is stored in) owns the obligation.
+	CallArgEscapes: true,
+	// TryAcquire returning 0 means the budget was exhausted; Release(0) is
+	// a no-op, so zero-guarded paths owe nothing.
+	ZeroExempt: true,
+}
+
+func run(pass *framework.Pass) error {
+	// internal/par itself is analyzed too: For, Do and RowSweep are the
+	// budget's heaviest clients, and their defer-based pairing is exactly
+	// what the check protects.
+	pairing.Check(pass, spec)
+	return nil
+}

@@ -1,0 +1,12 @@
+package budgetpair_test
+
+import (
+	"testing"
+
+	"github.com/nlstencil/amop/internal/analyzers/budgetpair"
+	"github.com/nlstencil/amop/internal/analyzers/framework/analysistest"
+)
+
+func TestBudgetPair(t *testing.T) {
+	analysistest.Run(t, "testdata", budgetpair.Analyzer, "budget")
+}

@@ -1,0 +1,146 @@
+// Package budget exercises the budgetpair analyzer: every shape the repo
+// uses to pair par.TryAcquire with par.Release, plus the leaks it must
+// catch.
+package budget
+
+import "github.com/nlstencil/amop/internal/par"
+
+func cond() bool        { return true }
+func work(lo, hi int)   { _ = hi - lo }
+func helper(tokens int) { par.Release(tokens) }
+
+type pool struct{ spawn int }
+
+// ---- shapes the analyzer must flag ----
+
+func leakDiscarded() {
+	par.TryAcquire(4) // want `result of par\.TryAcquire is discarded`
+}
+
+func leakNeverReleased(n int) {
+	tokens := par.TryAcquire(n) // want `par\.TryAcquire result "tokens" never reaches par\.Release on any path`
+	if tokens > 2 {
+		work(0, n)
+	}
+}
+
+func leakEarlyReturn(n int, fail bool) {
+	tokens := par.TryAcquire(n)
+	if fail {
+		return // want `return leaks par\.TryAcquire result "tokens": no par\.Release on this path`
+	}
+	par.Release(tokens)
+}
+
+func leakLoopFallThrough(n int) {
+	for i := 0; i < n; i++ {
+		tokens := par.TryAcquire(1) // want `par\.TryAcquire result "tokens" is not released by par\.Release on the fall-through path`
+		if tokens > 0 && cond() {
+			par.Release(tokens)
+		}
+	}
+}
+
+func leakTierB(w int) {
+	spawn := 0
+	if w > 1 {
+		spawn = par.TryAcquire(w - 1) // want `par\.TryAcquire result "spawn" never reaches par\.Release on any path`
+	}
+	if spawn > 1 {
+		work(0, w)
+	}
+}
+
+// ---- shapes the analyzer must accept ----
+
+func okDefer(n int) {
+	tokens := par.TryAcquire(n)
+	defer par.Release(tokens)
+	work(0, n)
+}
+
+// The canonical par.For prologue: early return under the zero-token guard
+// (par.Release(0) is a no-op), deferred release otherwise.
+func okZeroGuard(n int) {
+	tokens := par.TryAcquire(n - 1)
+	if tokens == 0 {
+		work(0, n)
+		return
+	}
+	defer par.Release(tokens)
+	work(0, n)
+}
+
+func okConditionalRelease(n int) {
+	tokens := par.TryAcquire(n)
+	work(0, n)
+	if tokens > 0 {
+		par.Release(tokens)
+	}
+}
+
+// Tokens handed to a goroutine that releases them: ownership rides along.
+func okGoroutineHandoff(n int) {
+	tokens := par.TryAcquire(1)
+	if tokens == 0 {
+		work(0, n)
+		return
+	}
+	go func() {
+		defer par.Release(tokens)
+		work(0, n)
+	}()
+}
+
+// Passing the count to another function delegates the release obligation.
+func okDelegated(n int) {
+	tokens := par.TryAcquire(n)
+	helper(tokens)
+}
+
+// Storing the count transfers ownership to the structure's owner.
+func okStored(p *pool, n int) {
+	tokens := par.TryAcquire(n)
+	p.spawn = tokens
+}
+
+// Returning the count transfers ownership to the caller.
+func okReturned(n int) int {
+	tokens := par.TryAcquire(n)
+	return tokens
+}
+
+// Acquired straight into a named result: escapes on every return.
+func okNamedResult(n int) (tokens int) {
+	tokens = par.TryAcquire(n)
+	return
+}
+
+// The count never binds a variable at all: the obligation moves with the
+// expression.
+func okImmediate(n int) {
+	par.Release(par.TryAcquire(n))
+}
+
+// Released on every branch of an exhaustive switch.
+func okSwitchAllCases(mode, n int) {
+	tokens := par.TryAcquire(n)
+	switch mode {
+	case 0:
+		par.Release(tokens)
+	default:
+		work(0, n)
+		par.Release(tokens)
+	}
+}
+
+// The Tier B shape from batch.go's runPool: conditional acquire into an
+// outer variable, one deferred release downstream.
+func okTierBDeferred(w int) {
+	spawn := 0
+	if w > 1 {
+		spawn = par.TryAcquire(w - 1)
+	}
+	defer par.Release(spawn)
+	work(0, w)
+}

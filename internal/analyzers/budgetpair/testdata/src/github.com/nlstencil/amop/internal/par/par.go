@@ -1,0 +1,17 @@
+// Stub of internal/par for the budgetpair fixtures: the analyzer matches
+// callees by import path, so the fixture tree mirrors the real one.
+package par
+
+var spawned int
+
+// TryAcquire claims up to max worker tokens; see the real package.
+func TryAcquire(max int) int {
+	if max < spawned {
+		return 0
+	}
+	spawned += max
+	return max
+}
+
+// Release returns n tokens.
+func Release(n int) { spawned -= n }

@@ -1,0 +1,217 @@
+// Package analysistest runs an analyzer over golden-file fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixtures live
+// under <testdata>/src/<importpath>/, and every line that should be flagged
+// carries a
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps expect several diagnostics on that line).
+// The test fails on any diagnostic without a matching want and any want
+// without a matching diagnostic, so each fixture proves both directions:
+// the analyzer fires where it must and stays silent where it must not.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework"
+)
+
+// Run loads each fixture package and applies a, comparing diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		root: filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := framework.RunAnalyzers(pkg.pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, ld.fset, pkg, diags)
+	}
+}
+
+type loaded struct {
+	pkg   *framework.Package
+	wants []want
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*loaded
+}
+
+// load parses and type-checks the fixture package at importpath path,
+// resolving imports first against sibling fixture directories and then
+// against the standard library (compiled from GOROOT source, so the tests
+// run hermetically offline).
+func (ld *loader) load(path string) (*loaded, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		w, err := parseWants(ld.fset, f)
+		if err != nil {
+			return nil, err
+		}
+		wants = append(wants, w...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if dep, err := ld.load(ipath); err == nil {
+			return dep.pkg.Types, nil
+		}
+		return ld.std.Import(ipath)
+	})}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{
+		pkg: &framework.Package{
+			PkgPath:   path,
+			Dir:       dir,
+			Fset:      ld.fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		},
+		wants: wants,
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRE matches the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants extracts want expectations from f's comments.
+func parseWants(fset *token.FileSet, f *ast.File) ([]want, error) {
+	var wants []want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			spec := c.Text[idx+len("// want "):]
+			quoted := wantRE.FindAllString(spec, -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+			}
+			for _, q := range quoted {
+				var pat string
+				if q[0] == '`' {
+					pat = q[1 : len(q)-1]
+				} else {
+					var err error
+					if pat, err = strconv.Unquote(q); err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// check matches diagnostics against wants one-to-one.
+func check(t *testing.T, fset *token.FileSet, pkg *loaded, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := make([]*want, len(pkg.wants))
+	for i := range pkg.wants {
+		wants[i] = &pkg.wants[i]
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

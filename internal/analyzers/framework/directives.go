@@ -1,0 +1,103 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is suppressed by a comment on the flagged line, or on the line
+// immediately above it, of the form
+//
+//	//amop:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory: a suppression is a reviewed decision, and the
+// directive is where its justification lives. `//amop:ignore all -- reason`
+// suppresses every analyzer on that line.
+//
+// nakedgo additionally honors its own spelling (see the nakedgo package):
+//
+//	//amop:allow-go <reason>
+//
+// which reads better at `go` statements and is equivalent to
+// `//amop:ignore nakedgo -- <reason>`.
+
+const (
+	ignorePrefix  = "//amop:ignore"
+	allowGoPrefix = "//amop:allow-go"
+)
+
+// suppressions maps file name -> line -> analyzer names suppressed there
+// ("all" suppresses everything).
+type suppressions map[string]map[int][]string
+
+// collectSuppressions scans every comment in files for directives.
+// Malformed directives (no analyzer list, or no reason) suppress nothing:
+// an unjustified suppression must not silently work.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+// parseDirective recognizes the two directive spellings and returns the
+// analyzer names they suppress.
+func parseDirective(text string) (names []string, ok bool) {
+	switch {
+	case strings.HasPrefix(text, allowGoPrefix):
+		// //amop:allow-go <reason>; the reason is everything after the tag.
+		if strings.TrimSpace(text[len(allowGoPrefix):]) == "" {
+			return nil, false
+		}
+		return []string{"nakedgo"}, true
+	case strings.HasPrefix(text, ignorePrefix):
+		rest := strings.TrimSpace(text[len(ignorePrefix):])
+		list, reason, found := strings.Cut(rest, "--")
+		if !found || strings.TrimSpace(reason) == "" {
+			return nil, false
+		}
+		for _, n := range strings.Split(list, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names, len(names) > 0
+	}
+	return nil, false
+}
+
+// suppressed reports whether d is covered by a directive on its line or the
+// line above.
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

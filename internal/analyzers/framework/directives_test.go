@@ -1,0 +1,43 @@
+package framework
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//amop:ignore budgetpair -- helper releases on exit", []string{"budgetpair"}, true},
+		{"//amop:ignore budgetpair,scratchpair -- ownership documented above", []string{"budgetpair", "scratchpair"}, true},
+		{"//amop:ignore all -- generated code", []string{"all"}, true},
+		{"//amop:allow-go watchdog outside the budget", []string{"nakedgo"}, true},
+		// Missing reasons are malformed: an unjustified suppression must not
+		// silently work.
+		{"//amop:ignore budgetpair", nil, false},
+		{"//amop:ignore budgetpair --", nil, false},
+		{"//amop:ignore -- reason but no analyzer", nil, false},
+		{"//amop:allow-go", nil, false},
+		{"//amop:allow-go   ", nil, false},
+		// Unrelated comments.
+		{"// plain comment", nil, false},
+		{"//amop:other thing", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("parseDirective(%q) = %v, want %v", c.text, names, c.names)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("parseDirective(%q) = %v, want %v", c.text, names, c.names)
+				break
+			}
+		}
+	}
+}

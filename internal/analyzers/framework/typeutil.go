@@ -1,0 +1,81 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared type-resolution helpers for the analyzers.
+
+// Callee resolves the statically-known function or method a call invokes,
+// or nil for calls through function values, built-ins and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj() // method or field; fields filter out below
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified identifier
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsFunc reports whether fn is the package-level function (or method —
+// name may be "Type.Method") at pkgPath.
+func IsFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		return named.Obj().Name()+"."+fn.Name() == name
+	}
+	return fn.Name() == name
+}
+
+// IsCallTo reports whether call statically invokes pkgPath.name.
+func IsCallTo(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	return IsFunc(Callee(info, call), pkgPath, name)
+}
+
+// UsedVar resolves an expression to the package-level or local variable it
+// names, unwrapping parentheses; nil for anything more structured.
+func UsedVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// Mentions reports whether the subtree rooted at n uses the variable v.
+func Mentions(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ModulePath is the import path of this module's root package; the
+// analyzers key their package matching off it.
+const ModulePath = "github.com/nlstencil/amop"

@@ -1,0 +1,306 @@
+// Package lockedsolve defines an analyzer keeping lattice solves (and
+// other blocking serving operations) out of mutex-guarded critical
+// sections.
+//
+// The live pricing server's contract is that its mutex protects *state*,
+// never *work*: Tick, Quote and the flight write-back hold amop.Server.mu
+// for microseconds of bookkeeping, while the solves they schedule run
+// outside it. One PriceBatch call under that lock would serialize every
+// tick and quote in the process behind a multi-millisecond lattice solve —
+// a throughput collapse that no test asserts against and no race detector
+// reports, because it is perfectly synchronized.
+//
+// The analyzer tracks Lock/Unlock (and RLock/RUnlock, and deferred
+// unlocks) on sync.Mutex/RWMutex-typed expressions through each function
+// body and reports any call to a solver entry point (amop.Price*,
+// PriceBatch, Chain, ScenarioSweep) or a blocking serving primitive
+// (serve.Coalescer.Do, Server.Flush/Quote/Tick — the last three also
+// self-deadlock) made while a lock is held.
+package lockedsolve
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "lockedsolve",
+	Doc: "flag solver and blocking serving calls made while a mutex is held\n\n" +
+		"Locks in this codebase guard state, not work: a lattice solve under\n" +
+		"a server lock serializes the whole request stream behind it.",
+	Run: run,
+}
+
+// blocked lists the functions that must not run under a lock: the solver
+// entry points and the serving calls that block on them (or on the very
+// locks their callers hold).
+var blocked = map[string][]string{
+	framework.ModulePath: {
+		"Price", "PriceAmerican", "PriceEuropean", "PriceBermudan",
+		"PriceBatch", "Chain", "ScenarioSweep",
+		"Server.Quote", "Server.Flush", "Server.Tick", "Server.TickPartial",
+	},
+	framework.ModulePath + "/internal/serve": {
+		"Coalescer.Do",
+	},
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w := &walker{pass: pass}
+					w.walkStmts(fn.Body.List, lockSet{})
+				}
+			case *ast.FuncLit:
+				// Function literals are walked independently with no lock
+				// held: what the enclosing function holds when it *calls*
+				// the literal is beyond this structural analysis, and the
+				// repo's literals (flight bodies, pool workers) run outside
+				// the locks by construction.
+				w := &walker{pass: pass}
+				w.walkStmts(fn.Body.List, lockSet{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockSet maps a lock expression's printed form ("s.mu") to true while it
+// is held on the current path.
+type lockSet map[string]bool
+
+func (ls lockSet) clone() lockSet {
+	c := make(lockSet, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+func (ls lockSet) any() (string, bool) {
+	for k := range ls {
+		return k, true
+	}
+	return "", false
+}
+
+type walker struct {
+	pass *framework.Pass
+}
+
+// walkStmts threads the held-lock set through a statement list, returning
+// the fall-through state (nil when the list always terminates).
+func (w *walker) walkStmts(stmts []ast.Stmt, held lockSet) lockSet {
+	for _, s := range stmts {
+		held = w.walkStmt(s, held)
+		if held == nil {
+			return nil
+		}
+	}
+	return held
+}
+
+func (w *walker) walkStmt(s ast.Stmt, held lockSet) lockSet {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, held)
+		if lock, op := lockOp(w.pass.TypesInfo, s.X); lock != "" {
+			held = held.clone()
+			if op == opLock {
+				held[lock] = true
+			} else {
+				delete(held, lock)
+			}
+		}
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held through every path below;
+		// no state change. But a deferred *blocked* call would run with
+		// whatever locks remain — out of scope for the structural model.
+		w.checkCall(s.Call, held, "deferred ")
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, held)
+		}
+		return nil
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.checkExpr(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.checkExpr(l, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		thenOut := w.walkStmts(s.Body.List, held.clone())
+		var elseOut lockSet
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = w.walkStmts(e.List, held.clone())
+		case *ast.IfStmt:
+			elseOut = w.walkStmt(e, held.clone())
+		case nil:
+			elseOut = held
+		}
+		return mergeBranches(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		if s.Body != nil {
+			w.walkStmts(s.Body.List, held.clone())
+		}
+		// Loop bodies that lock/unlock symmetrically leave the after-loop
+		// state unchanged; asymmetric bodies are beyond the model.
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		if s.Body != nil {
+			w.walkStmts(s.Body.List, held.clone())
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		w.walkClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.walkClauses(s.Body, held)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body, held)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	}
+	return held
+}
+
+func (w *walker) walkClauses(body *ast.BlockStmt, held lockSet) {
+	if body == nil {
+		return
+	}
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(cl.Body, held.clone())
+		case *ast.CommClause:
+			w.walkStmts(cl.Body, held.clone())
+		}
+	}
+}
+
+// mergeBranches joins two fall-through lock states: a lock is held after
+// the join if it is held on every branch that can reach it.
+func mergeBranches(a, b lockSet) lockSet {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(lockSet)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// checkExpr reports blocked calls anywhere inside e (skipping function
+// literals, which run later).
+func (w *walker) checkExpr(e ast.Expr, held lockSet) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.checkCall(call, held, "")
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, held lockSet, qual string) {
+	lock, ok := held.any()
+	if !ok {
+		return
+	}
+	fn := framework.Callee(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	for pkgPath, names := range blocked {
+		for _, name := range names {
+			if framework.IsFunc(fn, pkgPath, name) {
+				w.pass.Reportf(call.Pos(), "%scall to %s while %s is held: locks guard state, not work — run the solve outside the critical section", qual, name, lock)
+				return
+			}
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes X.Lock()/X.RLock() and X.Unlock()/X.RUnlock() calls on
+// sync.Mutex/RWMutex-typed expressions, returning X's printed form.
+func lockOp(info *types.Info, e ast.Expr) (string, lockOpKind) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	fn := framework.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	return types.ExprString(sel.X), op
+}

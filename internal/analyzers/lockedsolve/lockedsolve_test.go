@@ -1,0 +1,12 @@
+package lockedsolve_test
+
+import (
+	"testing"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework/analysistest"
+	"github.com/nlstencil/amop/internal/analyzers/lockedsolve"
+)
+
+func TestLockedSolve(t *testing.T) {
+	analysistest.Run(t, "testdata", lockedsolve.Analyzer, "github.com/nlstencil/amop")
+}

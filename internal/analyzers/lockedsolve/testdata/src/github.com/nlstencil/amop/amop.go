@@ -1,0 +1,103 @@
+// Stub at the module root's import path: PriceBatch, Chain and the Server
+// methods carry the names on lockedsolve's blocked list, so the fixture
+// exercises the real lookup keys.
+package amop
+
+import (
+	"sync"
+
+	"github.com/nlstencil/amop/internal/serve"
+)
+
+// Server mirrors the real pricing server's locking shape.
+type Server struct {
+	mu      sync.Mutex
+	cacheMu sync.RWMutex
+	state   int
+	flights serve.Coalescer
+}
+
+// PriceBatch stands in for the multi-millisecond lattice solve.
+func PriceBatch(reqs []int) []int { return reqs }
+
+// Chain stands in for the strike-chain solver entry point.
+func Chain(n int) int { return n }
+
+// Quote matches the blocked name Server.Quote.
+func (s *Server) Quote(id int) int { return id }
+
+// ---- shapes the analyzer must flag ----
+
+func (s *Server) badSolveUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	PriceBatch(nil) // want `call to PriceBatch while s\.mu is held`
+}
+
+func (s *Server) badSolveUnderRLock() int {
+	s.cacheMu.RLock()
+	defer s.cacheMu.RUnlock()
+	return Chain(8) // want `call to Chain while s\.cacheMu is held`
+}
+
+func (s *Server) badCoalesceUnderLock() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flights.Do(func() float64 { return 0 }) // want `call to Coalescer\.Do while s\.mu is held`
+}
+
+// Calling a locking entry point while already holding the lock would also
+// self-deadlock; the analyzer catches it as a blocked call.
+func (s *Server) badNestedQuote() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Quote(1) // want `call to Server\.Quote while s\.mu is held`
+}
+
+// The lock survives the branch merge: held on both arms, held after.
+func (s *Server) badAfterBranch(dirty bool) {
+	s.mu.Lock()
+	if dirty {
+		s.state++
+	}
+	PriceBatch(nil) // want `call to PriceBatch while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// ---- shapes the analyzer must accept ----
+
+// The repriceDirty pattern: snapshot under the lock, solve outside it.
+func (s *Server) okSolveOutsideLock() {
+	s.mu.Lock()
+	snapshot := s.state
+	s.mu.Unlock()
+	PriceBatch([]int{snapshot})
+}
+
+func (s *Server) okUnlockOnBothBranches(dirty bool) {
+	s.mu.Lock()
+	if dirty {
+		s.mu.Unlock()
+		PriceBatch(nil)
+		return
+	}
+	s.mu.Unlock()
+	PriceBatch(nil)
+}
+
+// A function literal built under the lock but called after release runs
+// without it.
+func (s *Server) okLiteralCalledLater() {
+	s.mu.Lock()
+	fn := func() { PriceBatch(nil) }
+	s.mu.Unlock()
+	fn()
+}
+
+// A goroutine does not inherit its spawner's locks.
+func (s *Server) okGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go PriceBatch(nil)
+}

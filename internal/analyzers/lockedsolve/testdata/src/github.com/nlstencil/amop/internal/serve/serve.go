@@ -1,0 +1,13 @@
+// Stub of internal/serve for the lockedsolve fixtures: Coalescer.Do is on
+// the analyzer's blocked list (it parks callers behind in-flight solves).
+package serve
+
+// Coalescer mirrors the real request coalescer's shape.
+type Coalescer struct{ inflight int }
+
+// Do runs fn, folding duplicate concurrent requests into one flight.
+func (c *Coalescer) Do(fn func() float64) float64 {
+	c.inflight++
+	defer func() { c.inflight-- }()
+	return fn()
+}

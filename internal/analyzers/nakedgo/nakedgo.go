@@ -1,0 +1,72 @@
+// Package nakedgo defines an analyzer flagging raw `go` statements in the
+// packages whose concurrency is supposed to flow through internal/par's
+// global spawn budget.
+//
+// Everything on the solver's hot path — the FFT substrate, the stencil
+// evolutions, the batch/sweep/serve engines — parallelizes through par.For,
+// par.Do or tokens explicitly claimed with par.TryAcquire, so that nested
+// parallel regions degrade to serial execution instead of oversubscribing
+// the machine. A raw `go` statement in those packages spawns outside the
+// budget: it works in a unit test and melts under batch traffic, when
+// len(batch) × GOMAXPROCS goroutines pile onto the scheduler.
+//
+// Spawns that are deliberately outside the budget (the one-goroutine-per-
+// token worker launch itself, a watchdog, a test seam) are annotated in
+// place:
+//
+//	//amop:allow-go <why this spawn is exempt from the budget>
+//
+// on the `go` statement's line or the line above. The reason is required;
+// the directive is the audit trail.
+package nakedgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "nakedgo",
+	Doc: "flag raw go statements that bypass the internal/par spawn budget\n\n" +
+		"Hot-path packages must parallelize via par.For/par.Do/par.TryAcquire\n" +
+		"or carry an //amop:allow-go directive explaining the exemption.",
+	Run: run,
+}
+
+// exempt lists the module packages raw `go` statements are allowed in:
+// internal/par is the budget's implementation (its worker launches are the
+// tokens), and internal/harness is the benchmark driver whose load
+// generators deliberately model unbudgeted outside traffic.
+var exempt = map[string]bool{
+	framework.ModulePath + "/internal/par":     true,
+	framework.ModulePath + "/internal/harness": true,
+}
+
+func run(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	if !inModule(path) || exempt[path] || strings.HasPrefix(path, framework.ModulePath+"/internal/analyzers") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Tests spawn goroutines deliberately — concurrent clients, tick
+		// drivers, load generators modeling unbudgeted outside traffic. The
+		// budget governs the library's hot paths, not the harnesses around
+		// them.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw go statement bypasses the internal/par spawn budget; use par.Do/par.For, claim tokens with par.TryAcquire, or annotate //amop:allow-go <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inModule(path string) bool {
+	return path == framework.ModulePath || strings.HasPrefix(path, framework.ModulePath+"/")
+}

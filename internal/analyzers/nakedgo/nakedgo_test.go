@@ -1,0 +1,16 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework/analysistest"
+	"github.com/nlstencil/amop/internal/analyzers/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, "testdata", nakedgo.Analyzer,
+		"github.com/nlstencil/amop/internal/sweep", // hot-path package: flagged
+		"github.com/nlstencil/amop/internal/par",   // budget implementation: exempt
+		"other",                                    // outside the module: ignored
+	)
+}

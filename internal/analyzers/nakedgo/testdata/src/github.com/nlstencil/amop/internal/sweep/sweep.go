@@ -1,0 +1,30 @@
+// Package sweep stands in for a hot-path module package: raw go statements
+// here must be flagged unless carrying a justified directive.
+package sweep
+
+func work() {}
+
+func spawnNaked() {
+	go work() // want `raw go statement bypasses the internal/par spawn budget`
+}
+
+func spawnAllowed() {
+	//amop:allow-go load generator deliberately modeling unbudgeted outside traffic
+	go work()
+}
+
+func spawnAllowedSameLine() {
+	go work() //amop:allow-go watchdog outside the budget by design
+}
+
+func spawnIgnored() {
+	//amop:ignore nakedgo -- reviewed: test seam, runs once at startup
+	go work()
+}
+
+// A directive without a reason is malformed and suppresses nothing: the
+// justification is the point.
+func spawnMissingReason() {
+	//amop:allow-go
+	go work() // want `raw go statement bypasses the internal/par spawn budget`
+}

@@ -1,0 +1,9 @@
+// Package other sits outside the module: the spawn budget does not govern
+// foreign code, so nothing here is flagged.
+package other
+
+func work() {}
+
+func spawn() {
+	go work()
+}

@@ -1,0 +1,12 @@
+package scratchpair_test
+
+import (
+	"testing"
+
+	"github.com/nlstencil/amop/internal/analyzers/framework/analysistest"
+	"github.com/nlstencil/amop/internal/analyzers/scratchpair"
+)
+
+func TestScratchPair(t *testing.T) {
+	analysistest.Run(t, "testdata", scratchpair.Analyzer, "scratchuse")
+}

@@ -1,0 +1,15 @@
+// Stub of internal/scratch for the scratchpair fixtures: the analyzer
+// matches callees by import path, so the fixture tree mirrors the real one.
+package scratch
+
+// Floats hands the caller a zeroed buffer; ownership transfers with it.
+func Floats(n int) []float64 { return make([]float64, n) }
+
+// PutFloats returns a buffer to the pool.
+func PutFloats(b []float64) { _ = b }
+
+// Complexes hands the caller a zeroed complex buffer.
+func Complexes(n int) []complex128 { return make([]complex128, n) }
+
+// PutComplexes returns a complex buffer to the pool.
+func PutComplexes(b []complex128) { _ = b }

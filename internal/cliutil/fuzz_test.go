@@ -1,0 +1,40 @@
+package cliutil_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/nlstencil/amop/internal/cliutil"
+)
+
+// FuzzParseContractRow drives the shared CLI contract-row surface with
+// arbitrary input: a JSON row through the Contract -> Request translation,
+// and one CSV cell through Set. The row format faces user-authored book
+// files and command lines, so the bar is: never panic, never return a
+// half-translated request — a row either becomes a request with a usable
+// resolution or fails with a diagnostic.
+func FuzzParseContractRow(f *testing.F) {
+	f.Add([]byte(`{"type":"call","S":127.62,"K":130,"R":0.00163,"V":0.21,"E":1,"steps":512}`), "K", "105")
+	f.Add([]byte(`{"symbol":"AAA","type":"put","model":"bsm","algorithm":"tiled","european":true}`), "vol", "0.33")
+	f.Add([]byte(`{"type":"x"}`), "steps", "-3")
+	f.Add([]byte(`[]`), "unknown", "1")
+	f.Add([]byte(`{"steps":1e9}`), "european", "maybe")
+	f.Fuzz(func(t *testing.T, row []byte, col, val string) {
+		var c cliutil.Contract
+		if err := json.Unmarshal(row, &c); err == nil {
+			req, err := c.Request(1000)
+			if err == nil && req.Config.Steps == 0 {
+				t.Errorf("Request accepted row %s but produced zero steps", row)
+			}
+		}
+
+		var cell cliutil.Contract
+		if err := cell.Set(col, val); err == nil {
+			// Whatever the setter accepted must flow through translation
+			// without panicking; rejection with a diagnostic is fine.
+			if req, err := cell.Request(1000); err == nil && req.Config.Steps == 0 {
+				t.Errorf("Set(%q, %q) then Request produced zero steps", col, val)
+			}
+		}
+	})
+}

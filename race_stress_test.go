@@ -1,0 +1,72 @@
+package amop
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSweepRacesServerTicks drives ScenarioSweep concurrently with a live
+// pricing server's tick/quote loop. Both paths reprice through the same
+// process-wide machinery — the kernel-spectrum cache, the scratch pools,
+// the spawn budget, the perf counters — so under -race this test reaches
+// the cross-subsystem interleavings that no single-engine test covers.
+// Sizes are deliberately small: the value is the interleaving, not the
+// arithmetic.
+func TestSweepRacesServerTicks(t *testing.T) {
+	const steps = 96
+	srv, err := NewServer(serveTestBook(steps), ServerOptions{
+		SpotBucket: 0.25, VolBucket: 0.01, RateBucket: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m := Market{Spot: 127.62, Vol: 0.21, Rate: 0.00163}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Alternate direction so the market keeps crossing bucket
+			// boundaries: every other tick marks the symbol dirty and the
+			// quote below triggers a repricing flight.
+			if i%2 == 0 {
+				m.Spot += 0.3
+			} else {
+				m.Spot -= 0.3
+			}
+			if _, err := srv.Tick("AAA", m); err != nil {
+				t.Errorf("tick %d: %v", i, err)
+				return
+			}
+			if _, err := srv.Quote(0); err != nil {
+				t.Errorf("quote after tick %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	reqs := sweepBook(steps)
+	scenarios := []Scenario{{}, {Spot: 0.01}, {Vol: 0.02}, {Rate: 0.001}}
+	for round := 0; round < 3; round++ {
+		sw := ScenarioSweep(reqs, scenarios, SweepOptions{ScenarioSteps: steps / 2})
+		for c := range reqs {
+			if err := sw.Base[c].Err; err != nil {
+				t.Errorf("round %d: base %d: %v", round, c, err)
+			}
+			for s := range scenarios {
+				if err := sw.At(c, s).Err; err != nil {
+					t.Errorf("round %d: cell (%d,%d): %v", round, c, s, err)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
