@@ -28,6 +28,7 @@ vet:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseContractRow -fuzztime=10s ./internal/cliutil/
 	$(GO) test -run='^$$' -fuzz=FuzzTickMerge -fuzztime=10s ./cmd/amop-serve/
+	$(GO) test -run='^$$' -fuzz=FuzzForwardInverseRoundTrip -fuzztime=10s ./internal/fft/
 
 build:
 	$(GO) build ./...
@@ -42,12 +43,15 @@ race:
 
 # smoke mirrors the CI bench-smoke job (minus govulncheck, which downloads
 # its tool): every benchmark runs one iteration, then the in-process
-# regression gates time the radix-4 kernel against radix-2, the scenario
-# sweep against the naive fan-out, and the live pricing server's serve path
-# (tick skips, request coalescing, cache-serve latency vs cold pricing).
+# regression gates time the radix-4 kernel against radix-2, the SoA
+# split-plane kernel against the complex kernel it replaced as default, the
+# scenario sweep against the naive fan-out, and the live pricing server's
+# serve path (tick skips, request coalescing, cache-serve latency vs cold
+# pricing).
 smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestRadix4NotSlowerSmoke -v ./internal/fft/
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestSoANotSlowerSmoke -v ./internal/fft/
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestScenarioSweepNotSlowerSmoke -v .
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestServeLoadSmoke -v .
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/nlstencil/amop/internal/fft"
 	"github.com/nlstencil/amop/internal/par"
 )
 
@@ -421,5 +422,29 @@ func TestPriceBatchSharesSpectrumCache(t *testing.T) {
 	}
 	if after.FFTBytesTransformed <= before.FFTBytesTransformed {
 		t.Error("FFT transform traffic counter did not advance")
+	}
+}
+
+// TestPerfCountersSoATransforms pins the SoA transform counter's plumbing
+// through the public snapshot: with the SoA kernel enabled (the default on
+// accelerated machines) a lattice solve large enough for the FFT path must
+// advance FFTSoATransforms, and the counter never goes backwards.
+func TestPerfCountersSoATransforms(t *testing.T) {
+	if !fft.SoA() {
+		t.Skip("SoA kernel disabled on this machine (no accelerated butterfly kernel)")
+	}
+	o := defaultCall()
+	before := ReadPerfCounters()
+	if _, err := Price(o, Binomial, Config{Steps: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadPerfCounters()
+	if after.FFTSoATransforms <= before.FFTSoATransforms {
+		t.Errorf("FFTSoATransforms did not advance across an FFT-path solve: %d -> %d",
+			before.FFTSoATransforms, after.FFTSoATransforms)
+	}
+	if again := ReadPerfCounters(); again.FFTSoATransforms < after.FFTSoATransforms {
+		t.Errorf("FFTSoATransforms went backwards: %d -> %d",
+			after.FFTSoATransforms, again.FFTSoATransforms)
 	}
 }

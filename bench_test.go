@@ -350,6 +350,50 @@ func BenchmarkComplexFFT(b *testing.B) {
 	}
 }
 
+// BenchmarkRealFFTSoAPlanes is BenchmarkRealFFT's workload through the
+// plane-native SoA entry points (the path the stencil evolution takes when
+// the SoA kernel is enabled); BenchmarkRealFFTComplexKernel pins the same
+// complex-spectrum round trip with the SoA kernel disabled, so the three
+// real-FFT benchmarks bracket both the kernel switch and the plane-API win.
+func BenchmarkRealFFTSoAPlanes(b *testing.B) {
+	n := 1 << 18
+	prev := fft.SetSoA(true)
+	defer fft.SetSoA(prev)
+	rp := fft.RPlanFor(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	sr := make([]float64, rp.HalfLen())
+	si := make([]float64, rp.HalfLen())
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.ForwardSoA(x, sr, si)
+		rp.InverseSoA(sr, si, x)
+	}
+}
+
+func BenchmarkRealFFTComplexKernel(b *testing.B) {
+	n := 1 << 18
+	prev := fft.SetSoA(false)
+	defer fft.SetSoA(prev)
+	rp := fft.RPlanFor(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	spec := make([]complex128, rp.HalfLen())
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.Forward(x, spec)
+		rp.Inverse(spec, x)
+	}
+}
+
 // --- Batch engine: a 45-contract chain (9 strikes x 5 expiries, T=20k) ------
 //
 // BenchmarkBatchEngine prices the chain through the bounded-pool batch

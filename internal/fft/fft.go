@@ -69,16 +69,23 @@ func Radix4() bool { return radix4Enabled.Load() }
 
 // SetRadix4 enables or disables the radix-4 kernel and returns the previous
 // setting. The radix-2 kernel is kept for benchmarking and parity testing;
-// leave radix-4 enabled in production.
+// leave radix-4 enabled in production. Note the SoA path dispatches before
+// the radix toggle is consulted, so a radix-4-vs-radix-2 A/B must also pin
+// SetSoA(false) to be meaningful.
 func SetRadix4(enabled bool) bool { return radix4Enabled.Swap(enabled) }
 
 // Plan holds the precomputed tables for transforms of one fixed size.
-// A Plan is safe for concurrent use: all fields are read-only after creation.
+// A Plan is safe for concurrent use: the core tables are read-only after
+// creation and the lazily-built SoA twiddle tables are guarded by a
+// sync.Once (immutable once published).
 type Plan struct {
 	n    int
 	rev  []int32      // bit-reversal permutation
 	tw   []complex128 // tw[k] = exp(-2*pi*i*k/n), k in [0, n/2)
 	half int
+
+	soaOnce sync.Once
+	soaT    *soaTables // split-plane twiddles, built on first SoA transform
 }
 
 // NewPlan creates a plan for transforms of size n. n must be a power of two
@@ -124,7 +131,10 @@ func PlanFor(n int) *Plan {
 func Prewarm(n int) {
 	N := NextPow2(n)
 	for s := 1; s <= N; s <<= 1 {
-		PlanFor(s)
+		p := PlanFor(s)
+		if soaEnabled.Load() && s >= 4 {
+			p.soa()
+		}
 		RPlanFor(s)
 	}
 }
@@ -176,6 +186,10 @@ func (p *Plan) transform(a []complex128, inverse bool) {
 		panic(fmt.Sprintf("fft: input length %d does not match plan size %d", len(a), n))
 	}
 	if n == 1 {
+		return
+	}
+	if p.soaEligible() {
+		p.soaTransform(a, inverse)
 		return
 	}
 	p.permute(a)

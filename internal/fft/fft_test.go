@@ -303,6 +303,8 @@ func BenchmarkForward64KRadix2(b *testing.B)  { benchForwardRadix2(b, 1<<16) }
 func BenchmarkForward512KRadix2(b *testing.B) { benchForwardRadix2(b, 1<<19) }
 
 func benchForwardRadix2(b *testing.B, n int) {
+	prevSoA := SetSoA(false) // the radix toggle is dead while SoA dispatches first
+	defer SetSoA(prevSoA)
 	prev := SetRadix4(false)
 	defer SetRadix4(prev)
 	benchForward(b, n)

@@ -1,0 +1,188 @@
+//go:build amd64 && !amop_purego
+
+// AVX2+FMA butterfly kernels over deinterleaved float64 planes. Each loop
+// iteration processes four butterflies: the SoA layout makes every load and
+// store a plain 256-bit VMOVUPD, and the packed per-stage twiddle tables
+// (built in soa.go) make the twiddle streams unit-stride as well. The
+// register budget is exactly the sixteen YMM registers: Y0-Y3 cycle as
+// scratch, Y4-Y11 hold the u values of the in-flight butterflies, Y12/Y13
+// hold the current twiddle pair, Y14/Y15 the u3*w1 product. Only the
+// forward direction exists in assembly — the inverse runs through the
+// conjugation identity with the sign flips folded into the Go entry/exit
+// passes (see soa.go).
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func bfly4AVX2(r0, r1, r2, r3, i0, i1, i2, i3, w1r, w1i, w2r, w2i *float64, n int)
+//
+// Per butterfly (matching butterflies4 in the complex kernel):
+//	t0 = x1*w2;  u0 = x0+t0;  u1 = x0-t0
+//	t1 = x3*w2;  u2 = x2+t1;  u3 = x2-t1
+//	t2 = u2*w1;  v  = u3*w1;  t3 = -i*v = (v_im, -v_re)
+//	out0 = u0+t2;  out2 = u0-t2;  out1 = u1+t3;  out3 = u1-t3
+TEXT ·bfly4AVX2(SB), NOSPLIT, $0-104
+	MOVQ r0+0(FP), AX
+	MOVQ r1+8(FP), BX
+	MOVQ r2+16(FP), CX
+	MOVQ r3+24(FP), DX
+	MOVQ i0+32(FP), SI
+	MOVQ i1+40(FP), DI
+	MOVQ i2+48(FP), R8
+	MOVQ i3+56(FP), R9
+	MOVQ w1r+64(FP), R10
+	MOVQ w1i+72(FP), R11
+	MOVQ w2r+80(FP), R12
+	MOVQ w2i+88(FP), R13
+	MOVQ n+96(FP), R15
+	SHLQ $3, R15       // byte length of each lane
+	XORQ R14, R14      // running byte offset
+
+bfly4loop:
+	CMPQ R14, R15
+	JGE  bfly4done
+
+	// w2 = (Y12, Y13)
+	VMOVUPD (R12)(R14*1), Y12
+	VMOVUPD (R13)(R14*1), Y13
+
+	// t0 = x1 * w2 -> (Y2, Y3)
+	VMOVUPD      (BX)(R14*1), Y0
+	VMOVUPD      (DI)(R14*1), Y1
+	VMULPD       Y12, Y0, Y2
+	VFNMADD231PD Y13, Y1, Y2
+	VMULPD       Y13, Y0, Y3
+	VFMADD231PD  Y12, Y1, Y3
+
+	// u0 = x0+t0 -> (Y4, Y6); u1 = x0-t0 -> (Y5, Y7)
+	VMOVUPD (AX)(R14*1), Y0
+	VMOVUPD (SI)(R14*1), Y1
+	VADDPD  Y2, Y0, Y4
+	VSUBPD  Y2, Y0, Y5
+	VADDPD  Y3, Y1, Y6
+	VSUBPD  Y3, Y1, Y7
+
+	// t1 = x3 * w2 -> (Y2, Y3)
+	VMOVUPD      (DX)(R14*1), Y0
+	VMOVUPD      (R9)(R14*1), Y1
+	VMULPD       Y12, Y0, Y2
+	VFNMADD231PD Y13, Y1, Y2
+	VMULPD       Y13, Y0, Y3
+	VFMADD231PD  Y12, Y1, Y3
+
+	// u2 = x2+t1 -> (Y8, Y10); u3 = x2-t1 -> (Y9, Y11)
+	VMOVUPD (CX)(R14*1), Y0
+	VMOVUPD (R8)(R14*1), Y1
+	VADDPD  Y2, Y0, Y8
+	VSUBPD  Y2, Y0, Y9
+	VADDPD  Y3, Y1, Y10
+	VSUBPD  Y3, Y1, Y11
+
+	// w1 = (Y12, Y13)
+	VMOVUPD (R10)(R14*1), Y12
+	VMOVUPD (R11)(R14*1), Y13
+
+	// t2 = u2 * w1 -> (Y2, Y3)
+	VMULPD       Y12, Y8, Y2
+	VFNMADD231PD Y13, Y10, Y2
+	VMULPD       Y13, Y8, Y3
+	VFMADD231PD  Y12, Y10, Y3
+
+	// v = u3 * w1 -> (Y14, Y15); t3 = (v_im, -v_re)
+	VMULPD       Y12, Y9, Y14
+	VFNMADD231PD Y13, Y11, Y14
+	VMULPD       Y13, Y9, Y15
+	VFMADD231PD  Y12, Y11, Y15
+
+	// out0 = u0+t2; out2 = u0-t2
+	VADDPD  Y2, Y4, Y0
+	VMOVUPD Y0, (AX)(R14*1)
+	VSUBPD  Y2, Y4, Y0
+	VMOVUPD Y0, (CX)(R14*1)
+	VADDPD  Y3, Y6, Y0
+	VMOVUPD Y0, (SI)(R14*1)
+	VSUBPD  Y3, Y6, Y0
+	VMOVUPD Y0, (R8)(R14*1)
+
+	// out1 = u1+t3; out3 = u1-t3 (t3 = (v_im, -v_re))
+	VADDPD  Y15, Y5, Y0
+	VMOVUPD Y0, (BX)(R14*1)
+	VSUBPD  Y15, Y5, Y0
+	VMOVUPD Y0, (DX)(R14*1)
+	VSUBPD  Y14, Y7, Y0
+	VMOVUPD Y0, (DI)(R14*1)
+	VADDPD  Y14, Y7, Y0
+	VMOVUPD Y0, (R9)(R14*1)
+
+	ADDQ $32, R14
+	JMP  bfly4loop
+
+bfly4done:
+	VZEROUPPER
+	RET
+
+// func bfly2AVX2(r0, r1, i0, i1, wr, wi *float64, n int)
+//
+// Per butterfly: t = x1*w; out0 = x0+t; out1 = x0-t.
+TEXT ·bfly2AVX2(SB), NOSPLIT, $0-56
+	MOVQ r0+0(FP), AX
+	MOVQ r1+8(FP), BX
+	MOVQ i0+16(FP), SI
+	MOVQ i1+24(FP), DI
+	MOVQ wr+32(FP), R10
+	MOVQ wi+40(FP), R11
+	MOVQ n+48(FP), R15
+	SHLQ $3, R15
+	XORQ R14, R14
+
+bfly2loop:
+	CMPQ R14, R15
+	JGE  bfly2done
+
+	VMOVUPD (R10)(R14*1), Y12
+	VMOVUPD (R11)(R14*1), Y13
+
+	// t = x1 * w -> (Y2, Y3)
+	VMOVUPD      (BX)(R14*1), Y0
+	VMOVUPD      (DI)(R14*1), Y1
+	VMULPD       Y12, Y0, Y2
+	VFNMADD231PD Y13, Y1, Y2
+	VMULPD       Y13, Y0, Y3
+	VFMADD231PD  Y12, Y1, Y3
+
+	VMOVUPD (AX)(R14*1), Y0
+	VMOVUPD (SI)(R14*1), Y1
+
+	VADDPD  Y2, Y0, Y4
+	VMOVUPD Y4, (AX)(R14*1)
+	VSUBPD  Y2, Y0, Y4
+	VMOVUPD Y4, (BX)(R14*1)
+	VADDPD  Y3, Y1, Y4
+	VMOVUPD Y4, (SI)(R14*1)
+	VSUBPD  Y3, Y1, Y4
+	VMOVUPD Y4, (DI)(R14*1)
+
+	ADDQ $32, R14
+	JMP  bfly2loop
+
+bfly2done:
+	VZEROUPPER
+	RET

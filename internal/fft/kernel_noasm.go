@@ -1,0 +1,28 @@
+//go:build !amd64 || amop_purego
+
+package fft
+
+// Non-assembly side of the kernel-dispatch seam: platforms without the
+// AVX2 kernel (or builds with -tags amop_purego) route every butterfly
+// range straight to the portable split-plane loops. The SoA path therefore
+// defaults off here (see soaEnabled's init) but remains fully functional
+// for parity tests and explicit opt-in.
+
+// kernelArch names the accelerated kernel this build can dispatch to; the
+// generic build has none.
+const kernelArch = "generic"
+
+// kernelAsmAvailable reports whether an assembly kernel is compiled in.
+func kernelAsmAvailable() bool { return false }
+
+func bfly4Range(re, im []float64, base int, st *soaStage, jLo, jHi int) {
+	if jHi > jLo {
+		bfly4RangeGeneric(re, im, base, st, jLo, jHi)
+	}
+}
+
+func bfly2Range(re, im, twRe, twIm []float64, half, jLo, jHi int) {
+	if jHi > jLo {
+		bfly2RangeGeneric(re, im, twRe, twIm, half, jLo, jHi)
+	}
+}

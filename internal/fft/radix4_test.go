@@ -12,8 +12,12 @@ import (
 )
 
 // withRadix2 runs fn with the radix-2 kernel selected, restoring the prior
-// setting afterwards.
+// settings afterwards. The radix toggle only reaches the dispatch when the
+// SoA path is off (SoA checks first), so this disables SoA too — otherwise
+// the radix-2 arm of every A/B would silently run the SoA kernel.
 func withRadix2(fn func()) {
+	prevSoA := SetSoA(false)
+	defer SetSoA(prevSoA)
 	prev := SetRadix4(false)
 	defer SetRadix4(prev)
 	fn()
@@ -37,11 +41,13 @@ func TestRadix4MatchesRadix2AndNaive(t *testing.T) {
 			p := PlanFor(n)
 
 			r4 := append([]complex128(nil), a...)
-			if inverse {
-				p.Inverse(r4)
-			} else {
-				p.Forward(r4)
-			}
+			withComplexKernel(func() {
+				if inverse {
+					p.Inverse(r4)
+				} else {
+					p.Forward(r4)
+				}
+			})
 
 			r2 := append([]complex128(nil), a...)
 			withRadix2(func() {
@@ -63,8 +69,10 @@ func TestRadix4MatchesRadix2AndNaive(t *testing.T) {
 		a := randVec(rng, n)
 		rt := append([]complex128(nil), a...)
 		p := PlanFor(n)
-		p.Forward(rt)
-		p.Inverse(rt)
+		withComplexKernel(func() {
+			p.Forward(rt)
+			p.Inverse(rt)
+		})
 		if d := maxAbsDiff(rt, a); d > 1e-9 {
 			t.Errorf("n=%d: radix-4 round trip error %g", n, d)
 		}
@@ -89,7 +97,7 @@ func TestRadix4RoundTripQuick(t *testing.T) {
 		p := PlanFor(n)
 
 		r4 := append([]complex128(nil), a...)
-		p.Forward(r4)
+		withComplexKernel(func() { p.Forward(r4) })
 		r2 := append([]complex128(nil), a...)
 		withRadix2(func() { p.Forward(r2) })
 		for i := range r4 {
@@ -99,7 +107,7 @@ func TestRadix4RoundTripQuick(t *testing.T) {
 			}
 		}
 
-		p.Inverse(r4)
+		withComplexKernel(func() { p.Inverse(r4) })
 		for i := range a {
 			scale := 1 + cmplx.Abs(a[i])
 			if cmplx.Abs(r4[i]-a[i]) > 1e-9*scale {
@@ -125,7 +133,7 @@ func TestRadix4RPlanParity(t *testing.T) {
 		rp := RPlanFor(n)
 
 		spec4 := make([]complex128, rp.HalfLen())
-		rp.Forward(append([]float64(nil), x...), spec4)
+		withComplexKernel(func() { rp.Forward(append([]float64(nil), x...), spec4) })
 		spec2 := make([]complex128, rp.HalfLen())
 		withRadix2(func() { rp.Forward(append([]float64(nil), x...), spec2) })
 		if d := maxAbsDiff(spec4, spec2); d > 1e-9 {
@@ -144,7 +152,7 @@ func TestRadix4RPlanParity(t *testing.T) {
 		}
 
 		out := make([]float64, n)
-		rp.Inverse(spec4, out)
+		withComplexKernel(func() { rp.Inverse(spec4, out) })
 		for i := range x {
 			if math.Abs(out[i]-x[i]) > 1e-9 {
 				t.Errorf("n=%d: radix-4 real round trip error %g at %d", n, out[i]-x[i], i)
@@ -237,6 +245,10 @@ func TestRadix4NotSlowerSmoke(t *testing.T) {
 		t.Skip("set AMOP_BENCH_SMOKE=1 to run the radix-4 vs radix-2 timing gate")
 	}
 	const n = 1 << 16
+	// Pin the complex kernels: with SoA on, transform() never consults the
+	// radix toggle and both arms would time the same SoA kernel.
+	prevSoA := SetSoA(false)
+	defer SetSoA(prevSoA)
 	rng := rand.New(rand.NewSource(45))
 	src := randVec(rng, n)
 	buf := make([]complex128, n)

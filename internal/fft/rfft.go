@@ -34,6 +34,9 @@ type RPlan struct {
 	// twiddles, which live on the size-n circle and therefore interleave the
 	// inner plan's size-n/2 table.
 	rtw []complex128
+	// rtwRe/rtwIm are rtw split into planes for the SoA pack/unpack loops
+	// (rfft_soa.go), which stay in float64 lanes end to end.
+	rtwRe, rtwIm []float64
 }
 
 // NewRPlan creates a real-input plan for transforms of size n. n must be a
@@ -48,9 +51,13 @@ func NewRPlan(n int) *RPlan {
 	}
 	p.inner = PlanFor(n / 2)
 	p.rtw = make([]complex128, p.half)
+	p.rtwRe = make([]float64, p.half)
+	p.rtwIm = make([]float64, p.half)
 	for k := range p.rtw {
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
 		p.rtw[k] = complex(c, s)
+		p.rtwRe[k] = c
+		p.rtwIm[k] = s
 	}
 	return p
 }

@@ -174,6 +174,8 @@ func BenchmarkRealFFT512K(b *testing.B) { benchRealFFT(b, 1<<19) }
 // BenchmarkRealFFT512KRadix2 pins the real-input round trip on the legacy
 // radix-2 kernel; compare against BenchmarkRealFFT512K for the radix-4 win.
 func BenchmarkRealFFT512KRadix2(b *testing.B) {
+	prevSoA := SetSoA(false) // the radix toggle is dead while SoA dispatches first
+	defer SetSoA(prevSoA)
 	prev := SetRadix4(false)
 	defer SetRadix4(prev)
 	benchRealFFT(b, 1<<19)

@@ -1,0 +1,333 @@
+package fft
+
+// Deinterleaved (structure-of-arrays) float64 kernels. Go's compiler will
+// not vectorize complex128 arithmetic — every butterfly in the complex
+// kernel runs as scalar MULSD/ADDSD no matter how wide the machine's vector
+// units are. Splitting the data into separate re/im planes ("SoA") turns
+// each butterfly stage into plain float64 lane arithmetic that a SIMD
+// kernel can chew four lanes at a time; on amd64 with AVX2+FMA the
+// butterflies run in hand-written assembly behind the dispatch seam in
+// kernel_amd64.go / kernel_noasm.go, and everywhere else the portable
+// split-plane loops in kernel_generic.go serve as fallback and parity
+// oracle.
+//
+// The SoA transform restructures the stage ladder around the layout change
+// rather than translating the complex kernel loop for loop:
+//
+//   - entry fuses three passes into one: the complex->planes deinterleave,
+//     the bit-reversal permutation (a gather a[rev[i]] with sequential
+//     writes, which beats the in-place swap walk), and the trivial-twiddle
+//     first radix-4 butterfly (twiddles {1, -i}), so the data's first trip
+//     through memory already completes two butterfly stages;
+//   - the remaining radix-4 stages read their twiddles from per-stage
+//     *packed* split tables (w^j and w^2j stored contiguously per j), so
+//     the vector kernel issues unit-stride loads instead of the complex
+//     kernel's strided tw[j*step] walk, and the conj-folded w^(j+h) = -i*w^j
+//     identity is baked into the butterfly exactly as in the complex kernel;
+//   - odd-log2 sizes finish with one radix-2 stage at span n (step-1
+//     twiddles straight off the split base table) instead of leading with a
+//     pairwise pass, keeping every vectorizable stage unit-stride;
+//   - the inverse runs the same forward-only kernels under the conjugation
+//     identity IDFT(Z) = conj(DFT(conj(Z)))/n, with both conjugations folded
+//     into the entry gather and exit reinterleave passes, so only one
+//     assembly direction exists;
+//   - stages parallelize via internal/par with the same blocks-vs-lanes
+//     split as the complex kernel's transformPar4.
+//
+// Scratch planes come from internal/scratch and are returned on every path.
+// SetSoA(false) restores the complex kernel for A/B comparison; the SoA
+// path is the default whenever the accelerated kernel is available.
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
+)
+
+// soaEnabled selects the SoA split-plane kernel for Plan transforms and the
+// linstencil evolution hot path. It defaults to enabled exactly when the
+// accelerated assembly kernel is usable on this machine: the generic SoA
+// loops exist for portability and parity, not speed, so platforms without
+// the assembly keep the complex kernel unless a caller opts in explicitly.
+var soaEnabled atomic.Bool
+
+// soaForceGeneric routes SoA butterflies through the portable generic
+// kernel even when assembly is available. Tests use it to cover both sides
+// of the dispatch seam on one machine; it is not part of the public API.
+var soaForceGeneric atomic.Bool
+
+func init() { soaEnabled.Store(kernelAsmAvailable()) }
+
+// SoA reports whether the SoA split-plane kernel is enabled.
+func SoA() bool { return soaEnabled.Load() }
+
+// SetSoA enables or disables the SoA split-plane kernel and returns the
+// previous setting. The complex kernel is kept for benchmarking, parity
+// testing, and as the portable fallback; on machines with the accelerated
+// kernel, leave SoA enabled in production.
+func SetSoA(enabled bool) bool { return soaEnabled.Swap(enabled) }
+
+// SoAAccelerated reports whether the assembly SoA kernel is compiled in and
+// usable on this CPU. When false, the SoA path (if enabled) runs the
+// portable generic kernel.
+func SoAAccelerated() bool { return kernelAsmAvailable() }
+
+// KernelName identifies the butterfly kernel the SoA path would use:
+// "avx2" when the assembly kernel is active, "generic" otherwise.
+func KernelName() string {
+	if kernelAsmAvailable() && !soaForceGeneric.Load() {
+		return kernelArch
+	}
+	return "generic"
+}
+
+// soaTransforms counts transforms executed by the SoA kernel (Plan
+// dispatches and RPlan plane-native calls, one count per direction). The
+// bytes those transforms move are counted in transformedBytes by the same
+// call sites that count the complex kernel, so the traffic counter never
+// silently undercounts when SoA is the default.
+var soaTransforms atomic.Int64
+
+// SoATransforms returns the cumulative number of SoA-kernel transforms.
+func SoATransforms() int64 { return soaTransforms.Load() }
+
+// soaStage holds one radix-4 stage's packed twiddles: w1[j] = w^j and
+// w2[j] = w^2j for w = exp(-2*pi*i/(4h)), stored as split unit-stride
+// planes so the vector kernel loads them with plain wide loads.
+type soaStage struct {
+	h                  int
+	w1r, w1i, w2r, w2i []float64
+}
+
+// soaTables holds a plan's split-plane twiddle data: the base table split
+// into planes (twRe/twIm, n/2 entries, used by the trailing radix-2 stage
+// and by scalar edge cases) and the packed per-stage radix-4 tables.
+// Tables are immutable after construction and shared by every transform of
+// the plan.
+type soaTables struct {
+	twRe, twIm []float64
+	stages     []soaStage // h = 4, 16, 64, ...
+	finalR2    bool       // odd log2: one radix-2 stage of span n closes the ladder
+	r2Half     int        // n/2 when finalR2
+}
+
+// soa returns the plan's SoA tables, building them on first use. The build
+// reads the already-computed complex twiddle table — no new Sincos calls —
+// so lazily constructing it keeps NewPlan cheap for complex-only callers.
+func (p *Plan) soa() *soaTables {
+	p.soaOnce.Do(func() {
+		n := p.n
+		t := &soaTables{}
+		t.twRe = make([]float64, p.half)
+		t.twIm = make([]float64, p.half)
+		for k, w := range p.tw {
+			t.twRe[k] = real(w)
+			t.twIm[k] = imag(w)
+		}
+		lg := bits.TrailingZeros(uint(n))
+		t.finalR2 = lg%2 == 1 && n >= 2
+		t.r2Half = n / 2
+		radix4End := n
+		if t.finalR2 {
+			radix4End = n / 2
+		}
+		for h := 4; 4*h <= radix4End; h *= 4 {
+			st := soaStage{h: h}
+			st.w1r = make([]float64, h)
+			st.w1i = make([]float64, h)
+			st.w2r = make([]float64, h)
+			st.w2i = make([]float64, h)
+			// The stage combines four size-h sub-transforms into size 4h, so
+			// its twiddles live on the circle of size 4h: w^j = tw[j*n/(4h)]
+			// on the plan's size-n table. w^2j can run past the table's half
+			// circle; w^(m+n/2) = -w^m folds it back.
+			stride := n / (4 * h)
+			for j := 0; j < h; j++ {
+				st.w1r[j] = t.twRe[j*stride]
+				st.w1i[j] = t.twIm[j*stride]
+				if idx2 := 2 * j * stride; idx2 < p.half {
+					st.w2r[j] = t.twRe[idx2]
+					st.w2i[j] = t.twIm[idx2]
+				} else {
+					st.w2r[j] = -t.twRe[idx2-p.half]
+					st.w2i[j] = -t.twIm[idx2-p.half]
+				}
+			}
+			t.stages = append(t.stages, st)
+		}
+		p.soaT = t
+	})
+	return p.soaT
+}
+
+// soaEligible reports whether this transform should run on the SoA kernel.
+// Sizes below 4 have no radix-4 structure to exploit; the complex kernel's
+// trivial loops handle them.
+func (p *Plan) soaEligible() bool { return soaEnabled.Load() && p.n >= 4 }
+
+// soaTransform is the complex-slice entry point: deinterleave a into
+// scratch planes (fused with bit reversal and the first butterfly), run the
+// split-plane stage ladder, and reinterleave. inverse applies the
+// conjugation identity; like the complex transform method, the inverse here
+// is unscaled — Plan.Inverse applies the 1/n sweep.
+func (p *Plan) soaTransform(a []complex128, inverse bool) {
+	n := p.n
+	soaTransforms.Add(1)
+	re := scratch.Floats(n)
+	im := scratch.Floats(n)
+	p.soaGather(a, re, im, inverse)
+	p.soaStages(re, im)
+	if n >= parThreshold() && par.Workers() > 1 {
+		interleavePar(a, re, im, inverse)
+	} else {
+		interleaveRange(a, re, im, 0, n, inverse)
+	}
+	scratch.PutFloats(re)
+	scratch.PutFloats(im)
+}
+
+// soaGather runs the fused entry pass: for each output quad it gathers
+// a[rev[i]], deinterleaves into the planes, and applies the trivial-twiddle
+// first radix-4 butterfly (the fusion of the first two radix-2 stages).
+// For the inverse, the conjugation of the input folds into the gather as a
+// sign flip on the imaginary lane. Sizes below 4 (no quads) deinterleave
+// without a butterfly.
+func (p *Plan) soaGather(a []complex128, re, im []float64, inverse bool) {
+	n := p.n
+	if n < 4 {
+		for i, r := range p.rev {
+			z := a[r]
+			re[i] = real(z)
+			if inverse {
+				im[i] = -imag(z)
+			} else {
+				im[i] = imag(z)
+			}
+		}
+		return
+	}
+	if n >= parThreshold() && par.Workers() > 1 {
+		p.soaGatherPar(a, re, im, inverse)
+		return
+	}
+	gatherQuads(a, p.rev, re, im, 0, n/4, inverse)
+}
+
+func (p *Plan) soaGatherPar(a []complex128, re, im []float64, inverse bool) {
+	par.For(p.n/4, 1024, func(lo, hi int) { gatherQuads(a, p.rev, re, im, lo, hi, inverse) })
+}
+
+// gatherQuads processes output quads [qLo, qHi): gather four reversed
+// inputs, butterfly with twiddles {1, -i}, store to the planes.
+func gatherQuads(a []complex128, rev []int32, re, im []float64, qLo, qHi int, inverse bool) {
+	if inverse {
+		for q := qLo; q < qHi; q++ {
+			i := 4 * q
+			z0, z1, z2, z3 := a[rev[i]], a[rev[i+1]], a[rev[i+2]], a[rev[i+3]]
+			quadStore(re, im, i,
+				real(z0), -imag(z0), real(z1), -imag(z1),
+				real(z2), -imag(z2), real(z3), -imag(z3))
+		}
+		return
+	}
+	for q := qLo; q < qHi; q++ {
+		i := 4 * q
+		z0, z1, z2, z3 := a[rev[i]], a[rev[i+1]], a[rev[i+2]], a[rev[i+3]]
+		quadStore(re, im, i,
+			real(z0), imag(z0), real(z1), imag(z1),
+			real(z2), imag(z2), real(z3), imag(z3))
+	}
+}
+
+// quadStore applies the trivial first radix-4 butterfly to one gathered
+// quad and writes the results at planes[i..i+3]. Shared by the complex
+// gather and the real-input pack so the butterfly algebra exists once.
+func quadStore(re, im []float64, i int, x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i float64) {
+	u0r, u1r := x0r+x1r, x0r-x1r
+	u0i, u1i := x0i+x1i, x0i-x1i
+	u2r, u3r := x2r+x3r, x2r-x3r
+	u2i, u3i := x2i+x3i, x2i-x3i
+	// t3 = -i * u3
+	t3r, t3i := u3i, -u3r
+	re[i], re[i+2] = u0r+u2r, u0r-u2r
+	im[i], im[i+2] = u0i+u2i, u0i-u2i
+	re[i+1], re[i+3] = u1r+t3r, u1r-t3r
+	im[i+1], im[i+3] = u1i+t3i, u1i-t3i
+}
+
+// interleaveRange writes planes back into a[lo:hi]; the inverse direction
+// conjugates on the way out (second half of the conjugation identity).
+func interleaveRange(a []complex128, re, im []float64, lo, hi int, inverse bool) {
+	if inverse {
+		for i := lo; i < hi; i++ {
+			a[i] = complex(re[i], -im[i])
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		a[i] = complex(re[i], im[i])
+	}
+}
+
+func interleavePar(a []complex128, re, im []float64, inverse bool) {
+	par.For(len(a), 2048, func(lo, hi int) { interleaveRange(a, re, im, lo, hi, inverse) })
+}
+
+// soaStages runs the split-plane butterfly ladder over planes that already
+// hold the output of the fused entry pass (bit-reversed order, first
+// radix-4 butterfly applied). It is the shared engine of the complex-slice
+// wrappers and the RPlan plane-native path.
+func (p *Plan) soaStages(re, im []float64) {
+	t := p.soa()
+	n := p.n
+	if n >= parThreshold() && par.Workers() > 1 {
+		p.soaStagesPar(re, im, t)
+		return
+	}
+	for si := range t.stages {
+		st := &t.stages[si]
+		h := st.h
+		for b := 0; b < n/(4*h); b++ {
+			bfly4Range(re, im, b*4*h, st, 0, h)
+		}
+	}
+	if t.finalR2 {
+		bfly2Range(re, im, t.twRe, t.twIm, t.r2Half, 0, t.r2Half)
+	}
+}
+
+// soaStagesPar mirrors the complex kernel's transformPar4 shape: many small
+// blocks parallelize across blocks, few large blocks split each block's
+// lane range instead. Lane chunks are quad-granular so the vector kernel
+// always sees multiples of four.
+func (p *Plan) soaStagesPar(re, im []float64, t *soaTables) {
+	n := p.n
+	for si := range t.stages {
+		st := &t.stages[si]
+		h := st.h
+		blocks := n / (4 * h)
+		switch {
+		case blocks >= 2*par.Workers():
+			par.For(blocks, 1, func(lo, hi int) {
+				for b := lo; b < hi; b++ {
+					bfly4Range(re, im, b*4*h, st, 0, h)
+				}
+			})
+		default:
+			for b := 0; b < blocks; b++ {
+				base := b * 4 * h
+				par.For(h/4, 512, func(qLo, qHi int) {
+					bfly4Range(re, im, base, st, 4*qLo, 4*qHi)
+				})
+			}
+		}
+	}
+	if t.finalR2 {
+		half := t.r2Half
+		par.For(half/4, 512, func(qLo, qHi int) {
+			bfly2Range(re, im, t.twRe, t.twIm, half, 4*qLo, 4*qHi)
+		})
+	}
+}

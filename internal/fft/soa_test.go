@@ -1,0 +1,470 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/scratch"
+)
+
+// withComplexKernel runs fn with the SoA path disabled (complex kernel),
+// restoring the prior setting afterwards.
+func withComplexKernel(fn func()) {
+	prev := SetSoA(false)
+	defer SetSoA(prev)
+	fn()
+}
+
+// withSoAKernel runs fn with the SoA path force-enabled.
+func withSoAKernel(fn func()) {
+	prev := SetSoA(true)
+	defer SetSoA(prev)
+	fn()
+}
+
+// withGenericSoA runs fn with the SoA butterflies forced through the
+// portable generic kernel, covering the non-assembly side of the dispatch
+// seam even on machines where the assembly is active.
+func withGenericSoA(fn func()) {
+	soaForceGeneric.Store(true)
+	defer soaForceGeneric.Store(false)
+	fn()
+}
+
+// soaKernelVariants runs fn once per available butterfly kernel, labeled.
+func soaKernelVariants(t *testing.T, fn func(t *testing.T)) {
+	t.Run("generic", func(t *testing.T) { withGenericSoA(func() { fn(t) }) })
+	if SoAAccelerated() {
+		t.Run(kernelArch, fn)
+	}
+}
+
+// relDiff returns the max absolute difference between a and b scaled by the
+// largest magnitude in b: the parity bound for comparing two kernels whose
+// only legitimate divergence is rounding (the assembly contracts multiplies
+// and adds into FMAs; the complex kernel does not).
+func relDiff(a, b []complex128) float64 {
+	norm := 0.0
+	for _, z := range b {
+		if m := cmplx.Abs(z); m > norm {
+			norm = m
+		}
+	}
+	if norm == 0 {
+		norm = 1
+	}
+	return maxAbsDiff(a, b) / norm
+}
+
+// soaParitySizes covers the degenerate transforms (1, 2 — below the SoA
+// eligibility floor), the smallest eligible size 4, every odd-log2 shape up
+// to 512 (which exercises the trailing radix-2 stage), and the even shapes
+// in between.
+var soaParitySizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// TestSoAMatchesComplexAndNaive pins the three-way parity: for each size and
+// direction, the SoA kernel (both butterfly variants) must agree with the
+// complex kernel within 1e-12 relative and with the O(n^2) DFT within 1e-9.
+func TestSoAMatchesComplexAndNaive(t *testing.T) {
+	soaKernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(61))
+		for _, n := range soaParitySizes {
+			for _, inverse := range []bool{false, true} {
+				a := randVec(rng, n)
+				want := naiveDFT(a, inverse)
+				p := PlanFor(n)
+
+				soa := append([]complex128(nil), a...)
+				withSoAKernel(func() {
+					if inverse {
+						p.Inverse(soa)
+					} else {
+						p.Forward(soa)
+					}
+				})
+
+				cpx := append([]complex128(nil), a...)
+				withComplexKernel(func() {
+					if inverse {
+						p.Inverse(cpx)
+					} else {
+						p.Forward(cpx)
+					}
+				})
+
+				if d := maxAbsDiff(soa, want); d > 1e-9 {
+					t.Errorf("n=%d inverse=%v: SoA differs from naive DFT by %g", n, inverse, d)
+				}
+				if d := relDiff(soa, cpx); d > 1e-12 {
+					t.Errorf("n=%d inverse=%v: SoA differs from complex kernel by %g relative", n, inverse, d)
+				}
+			}
+		}
+	})
+}
+
+// TestSoALargeParity extends the kernel parity to production-scale sizes up
+// to 2^17 (the harness's top transform size, odd log2) with only the
+// complex kernel as oracle — the naive DFT is O(n^2).
+func TestSoALargeParity(t *testing.T) {
+	soaKernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(62))
+		for _, n := range []int{1 << 10, 1 << 13, 1 << 16, 1 << 17} {
+			for _, inverse := range []bool{false, true} {
+				a := randVec(rng, n)
+				p := PlanFor(n)
+
+				soa := append([]complex128(nil), a...)
+				withSoAKernel(func() {
+					if inverse {
+						p.Inverse(soa)
+					} else {
+						p.Forward(soa)
+					}
+				})
+
+				cpx := append([]complex128(nil), a...)
+				withComplexKernel(func() {
+					if inverse {
+						p.Inverse(cpx)
+					} else {
+						p.Forward(cpx)
+					}
+				})
+
+				if d := relDiff(soa, cpx); d > 1e-12 {
+					t.Errorf("n=%d inverse=%v: SoA differs from complex kernel by %g relative", n, inverse, d)
+				}
+			}
+		}
+	})
+}
+
+// TestSoARoundTrip checks Inverse(Forward(a)) == a under the SoA kernel,
+// which pins the inverse's conjugation identity and the 1/n scaling.
+func TestSoARoundTrip(t *testing.T) {
+	soaKernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(63))
+		for _, n := range []int{4, 8, 64, 512, 1 << 12} {
+			a := randVec(rng, n)
+			rt := append([]complex128(nil), a...)
+			p := PlanFor(n)
+			withSoAKernel(func() {
+				p.Forward(rt)
+				p.Inverse(rt)
+			})
+			if d := maxAbsDiff(rt, a); d > 1e-9 {
+				t.Errorf("n=%d: SoA round trip error %g", n, d)
+			}
+		}
+	})
+}
+
+// TestRPlanSoAPlaneParity pins the plane-native real-input path against the
+// complex-spectrum API across the packing edge cases: n=1 (DC only), n=2
+// (delegated, no inner plan quads), n=4 and n=8 (delegated, inner size < 4),
+// n=16 (smallest plane-native size), self-paired-bin sizes, and odd-log2
+// inner sizes.
+func TestRPlanSoAPlaneParity(t *testing.T) {
+	soaKernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(64))
+		for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 256, 1024, 1 << 13} {
+			x := randReal(rng, n)
+			rp := RPlanFor(n)
+
+			spec := make([]complex128, rp.HalfLen())
+			rp.Forward(append([]float64(nil), x...), spec)
+
+			sr := make([]float64, rp.HalfLen())
+			si := make([]float64, rp.HalfLen())
+			rp.ForwardSoA(append([]float64(nil), x...), sr, si)
+
+			norm := 0.0
+			for _, z := range spec {
+				if m := cmplx.Abs(z); m > norm {
+					norm = m
+				}
+			}
+			if norm == 0 {
+				norm = 1
+			}
+			for k := range spec {
+				d := cmplx.Abs(complex(sr[k], si[k]) - spec[k])
+				if d/norm > 1e-12 {
+					t.Errorf("n=%d k=%d: plane spectrum (%g,%g) differs from complex %v", n, k, sr[k], si[k], spec[k])
+				}
+			}
+
+			out := make([]float64, n)
+			rp.InverseSoA(sr, si, out)
+			for i := range x {
+				if math.Abs(out[i]-x[i]) > 1e-9 {
+					t.Errorf("n=%d: plane round trip error %g at %d", n, out[i]-x[i], i)
+					break
+				}
+			}
+		}
+	})
+}
+
+// TestRPlanSoAPlanePanics checks the plane APIs reject mismatched lengths.
+func TestRPlanSoAPlanePanics(t *testing.T) {
+	rp := RPlanFor(16)
+	for _, fn := range []func(){
+		func() { rp.ForwardSoA(make([]float64, 8), make([]float64, 9), make([]float64, 9)) },
+		func() { rp.ForwardSoA(make([]float64, 16), make([]float64, 8), make([]float64, 9)) },
+		func() { rp.InverseSoA(make([]float64, 9), make([]float64, 8), make([]float64, 16)) },
+		func() { rp.InverseSoA(make([]float64, 9), make([]float64, 9), make([]float64, 15)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("mismatched plane lengths did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSoAParallelMatchesSerial verifies the SoA parallel staging performs
+// bit-identical arithmetic to the serial pass: the parallel split only
+// partitions loop ranges (quad-granular, so the kernel choice per butterfly
+// is unchanged), it never reassociates the butterfly algebra.
+func TestSoAParallelMatchesSerial(t *testing.T) {
+	if par.Workers() <= 1 {
+		prev := par.SetWorkers(4)
+		defer par.SetWorkers(prev)
+	}
+	soaKernelVariants(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(65))
+		prevThresh := SetParThreshold(1 << 6)
+		defer SetParThreshold(prevThresh)
+		for _, n := range []int{1 << 8, 1 << 9} {
+			for _, inverse := range []bool{false, true} {
+				a := randVec(rng, n)
+				p := PlanFor(n)
+
+				parallel := append([]complex128(nil), a...)
+				withSoAKernel(func() { p.transform(parallel, inverse) })
+
+				SetParThreshold(1 << 30) // force the serial path
+				serial := append([]complex128(nil), a...)
+				withSoAKernel(func() { p.transform(serial, inverse) })
+				SetParThreshold(1 << 6)
+
+				if d := maxAbsDiff(parallel, serial); d > 0 {
+					t.Errorf("n=%d inverse=%v: parallel SoA differs from serial by %g (want bit-identical)", n, inverse, d)
+				}
+			}
+		}
+	})
+}
+
+// TestSetSoA checks the toggle round-trips its previous value and that the
+// default matches the accelerated-kernel availability on this machine.
+func TestSetSoA(t *testing.T) {
+	orig := SoA()
+	if orig != SoAAccelerated() {
+		t.Errorf("SoA() default %v does not match SoAAccelerated() %v", orig, SoAAccelerated())
+	}
+	if prev := SetSoA(!orig); prev != orig {
+		t.Errorf("SetSoA returned %v, want previous value %v", prev, orig)
+	}
+	if SoA() == orig {
+		t.Error("SoA() unchanged after SetSoA")
+	}
+	if prev := SetSoA(orig); prev == orig {
+		t.Error("SetSoA did not report the toggled state")
+	}
+}
+
+// TestKernelName checks the kernel label is consistent with availability.
+func TestKernelName(t *testing.T) {
+	got := KernelName()
+	if SoAAccelerated() {
+		if got != kernelArch || got == "generic" {
+			t.Errorf("KernelName() = %q with accelerated kernel available", got)
+		}
+		withGenericSoA(func() {
+			if name := KernelName(); name != "generic" {
+				t.Errorf("KernelName() = %q under forced generic", name)
+			}
+		})
+	} else if got != "generic" {
+		t.Errorf("KernelName() = %q without accelerated kernel", got)
+	}
+}
+
+// TestSoATransformsCounter checks the SoA transform counter advances exactly
+// when the SoA path runs, and that transformed-bytes accounting continues to
+// tick under the SoA kernel (the traffic counter must not silently go dark
+// when the new path became the default).
+func TestSoATransformsCounter(t *testing.T) {
+	p := PlanFor(64)
+	a := randVec(rand.New(rand.NewSource(66)), 64)
+
+	c0, b0 := SoATransforms(), TransformedBytes()
+	withSoAKernel(func() { p.Forward(a) })
+	c1, b1 := SoATransforms(), TransformedBytes()
+	if c1 != c0+1 {
+		t.Errorf("SoATransforms went %d -> %d across one SoA transform, want +1", c0, c1)
+	}
+	if b1-b0 != 16*64 {
+		t.Errorf("TransformedBytes advanced %d across one SoA transform, want %d", b1-b0, 16*64)
+	}
+
+	withComplexKernel(func() { p.Forward(a) })
+	if c2 := SoATransforms(); c2 != c1 {
+		t.Errorf("SoATransforms advanced under the complex kernel: %d -> %d", c1, c2)
+	}
+
+	// The plane-native real path counts one per direction at 8 bytes/sample.
+	rp := RPlanFor(64)
+	x := randReal(rand.New(rand.NewSource(67)), 64)
+	sr := make([]float64, rp.HalfLen())
+	si := make([]float64, rp.HalfLen())
+	b2 := TransformedBytes()
+	rp.ForwardSoA(x, sr, si)
+	rp.InverseSoA(sr, si, x)
+	if c3 := SoATransforms(); c3 != c1+2 {
+		t.Errorf("SoATransforms went %d -> %d across an RPlan plane round trip, want +2", c1, c3)
+	}
+	if db := TransformedBytes() - b2; db != 2*8*64 {
+		t.Errorf("TransformedBytes advanced %d across an RPlan plane round trip, want %d", db, 2*8*64)
+	}
+}
+
+// TestSoAConcurrentTransforms hammers one shared plan (and the shared
+// scratch pool) from many goroutines under both SoA entry points. Run with
+// -race this pins the concurrency contract: the lazily-built SoA tables
+// publish through sync.Once, scratch planes are private per transform, and
+// no transform state leaks across goroutines.
+func TestSoAConcurrentTransforms(t *testing.T) {
+	const n = 1 << 10
+	p := PlanFor(n)
+	rp := RPlanFor(2 * n)
+	rng := rand.New(rand.NewSource(68))
+	a := randVec(rng, n)
+	want := append([]complex128(nil), a...)
+	withSoAKernel(func() { p.Forward(want) })
+	x := randReal(rng, 2*n)
+	wantSr := make([]float64, rp.HalfLen())
+	wantSi := make([]float64, rp.HalfLen())
+	rp.ForwardSoA(append([]float64(nil), x...), wantSr, wantSi)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				buf := scratch.Complexes(n)
+				copy(buf, a)
+				withSoAKernel(func() { p.Forward(buf) })
+				if d := maxAbsDiff(buf, want); d > 0 {
+					errs <- "concurrent SoA transform diverged"
+				}
+				scratch.PutComplexes(buf)
+
+				sr := scratch.Floats(rp.HalfLen())
+				si := scratch.Floats(rp.HalfLen())
+				rp.ForwardSoA(x, sr, si)
+				for k := range sr {
+					if sr[k] != wantSr[k] || si[k] != wantSi[k] {
+						errs <- "concurrent RPlan plane transform diverged"
+						break
+					}
+				}
+				scratch.PutFloats(sr)
+				scratch.PutFloats(si)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestSoANotSlowerSmoke is the CI bench-smoke gate for the SoA kernel: on
+// machines with the accelerated kernel it must not regress below the complex
+// kernel it replaced as the default. Median-of-rounds timing, 5% tolerance,
+// opt-in via AMOP_BENCH_SMOKE=1 — wall-clock assertions do not belong in the
+// default tier-1 run.
+func TestSoANotSlowerSmoke(t *testing.T) {
+	if os.Getenv("AMOP_BENCH_SMOKE") == "" {
+		t.Skip("set AMOP_BENCH_SMOKE=1 to run the SoA vs complex timing gate")
+	}
+	if !SoAAccelerated() {
+		t.Skip("no accelerated SoA kernel on this machine; the generic SoA path is not expected to beat the complex kernel")
+	}
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(69))
+	src := randVec(rng, n)
+	buf := make([]complex128, n)
+	p := PlanFor(n)
+	run := func() {
+		copy(buf, src)
+		p.Forward(buf)
+	}
+	withSoAKernel(run) // warm the plan, the SoA tables, and the scratch pool
+	median := func() float64 {
+		times := make([]float64, 0, 5)
+		for round := 0; round < 5; round++ {
+			start := time.Now()
+			for rep := 0; rep < 8; rep++ {
+				run()
+			}
+			times = append(times, time.Since(start).Seconds())
+		}
+		sort.Float64s(times)
+		return times[len(times)/2]
+	}
+	var soa, cpx float64
+	withSoAKernel(func() { soa = median() })
+	withComplexKernel(func() { cpx = median() })
+	t.Logf("soa(%s) %.4gs, complex %.4gs (%.2fx) at n=%d", KernelName(), soa, cpx, cpx/soa, n)
+	if soa > cpx*1.05 {
+		t.Errorf("SoA kernel slower than complex: %.4gs vs %.4gs", soa, cpx)
+	}
+}
+
+func BenchmarkForwardSoA64K(b *testing.B)  { benchForwardSoA(b, 1<<16) }
+func BenchmarkForwardSoA128K(b *testing.B) { benchForwardSoA(b, 1<<17) }
+
+func benchForwardSoA(b *testing.B, n int) {
+	prev := SetSoA(true)
+	defer SetSoA(prev)
+	a := randVec(rand.New(rand.NewSource(70)), n)
+	p := PlanFor(n)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(a)
+	}
+}
+
+func BenchmarkRPlanForwardSoA128K(b *testing.B) {
+	const n = 1 << 17
+	prev := SetSoA(true)
+	defer SetSoA(prev)
+	x := randReal(rand.New(rand.NewSource(71)), n)
+	rp := RPlanFor(n)
+	sr := make([]float64, rp.HalfLen())
+	si := make([]float64, rp.HalfLen())
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.ForwardSoA(x, sr, si)
+	}
+}

@@ -23,7 +23,7 @@ func radix4(cfg Config) ([]*Table, error) {
 	micro := &Table{
 		ID:     "radix4-fft",
 		Title:  "FFT kernel: mixed radix-4/2 vs radix-2 (seconds per transform)",
-		Note:   "fwd = complex in-place forward; rfft = real-input forward+inverse round trip; sizes above the parallel threshold exercise the stage-parallel paths",
+		Note:   "fwd = complex in-place forward; rfft = real-input forward+inverse round trip; sizes above the parallel threshold exercise the stage-parallel paths; SoA pinned off in both arms so the radix toggle is live (SoA vs complex is the simd-soa experiment)",
 		Header: []string{"n", "fwd_r4_s", "fwd_r2_s", "fwd_speedup", "rfft_r4_s", "rfft_r2_s", "rfft_speedup"},
 	}
 	for _, n := range []int{1 << 12, 1 << 14, 1 << 16, 1 << 18} {
@@ -52,10 +52,16 @@ func radix4(cfg Config) ([]*Table, error) {
 			rp.Inverse(spec, x)
 		}
 
+		// Pin SoA off for both arms: the radix toggle only reaches the
+		// dispatch when the SoA path (which checks first) is disabled, so
+		// this A/B times the complex kernels it names. The SoA-vs-complex
+		// comparison lives in the simd-soa experiment.
+		prevSoA := fft.SetSoA(false)
 		fwd4, rfft4 := timeIt(fwd), timeIt(rfft)
 		prev := fft.SetRadix4(false)
 		fwd2, rfft2 := timeIt(fwd), timeIt(rfft)
 		fft.SetRadix4(prev)
+		fft.SetSoA(prevSoA)
 
 		micro.Rows = append(micro.Rows, []string{
 			fmt.Sprint(n),
@@ -67,7 +73,7 @@ func radix4(cfg Config) ([]*Table, error) {
 	chain := &Table{
 		ID:     "radix4-chain",
 		Title:  "12-quote chain with Greeks + implied vols: radix and memo A/B (seconds)",
-		Note:   "full = radix-4 + repricing memo (production); r2 = radix-2 kernel; nomemo = memo disabled; memo hits/misses and hit rate from one full-path chain",
+		Note:   "full = production path (SoA where accelerated) + repricing memo; r2 = complex radix-2 kernel (SoA pinned off); nomemo = memo disabled; memo hits/misses and hit rate from one full-path chain",
 		Header: []string{"steps", "full_s", "r2_s", "r2/full", "nomemo_s", "nomemo/full", "memo_hits", "memo_misses", "hit_rate"},
 	}
 	underlying := amop.Option{Type: amop.Call, S: 127.62, R: 0.00163, V: 0.21, Y: 0.0163}
@@ -106,9 +112,13 @@ func radix4(cfg Config) ([]*Table, error) {
 			})
 		}
 		full := time(opts)
+		// The r2 arm must pin SoA off too, or the radix toggle would be
+		// ignored and this would re-time the production path.
+		prevSoA := fft.SetSoA(false)
 		prev := fft.SetRadix4(false)
 		r2 := time(opts)
 		fft.SetRadix4(prev)
+		fft.SetSoA(prevSoA)
 		nomemo := time(amop.ChainOptions{Steps: steps, DisableMemo: true})
 		if runErr != nil {
 			return nil, runErr

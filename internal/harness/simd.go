@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop/internal/fft"
+	"github.com/nlstencil/amop/internal/linstencil"
+)
+
+// The simd-soa experiment A/Bs the split-plane (SoA) FFT kernel against the
+// complex128 radix-4 kernel it replaces as the default: complex forward
+// transforms and the plane-native real-input round trip across sizes
+// spanning the serial and parallel regimes, and the end-to-end stencil
+// evolution that the option-pricing recursion spends its time in. The note
+// records which butterfly kernel the SoA path dispatched to, so a record
+// generated on a machine without the assembly is legible as such.
+
+func init() {
+	register(Experiment{"simd-soa", "SoA split-plane FFT kernel vs complex radix-4, and stencil-evolution end-to-end", simdSoA})
+}
+
+func simdSoA(cfg Config) ([]*Table, error) {
+	micro := &Table{
+		ID:    "simd-fft",
+		Title: "FFT kernel: SoA split-plane vs complex radix-4 (seconds per transform)",
+		Note: fmt.Sprintf("kernel=%s accelerated=%v; fwd = complex in-place forward; rfft = plane-native real forward+inverse round trip vs complex-spectrum API; sizes above the parallel threshold exercise the stage-parallel paths",
+			fft.KernelName(), fft.SoAAccelerated()),
+		Header: []string{"n", "fwd_soa_s", "fwd_cpx_s", "fwd_speedup", "rfft_soa_s", "rfft_cpx_s", "rfft_speedup"},
+	}
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16, 1 << 17} {
+		if n > cfg.MaxT {
+			break
+		}
+		src := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(math.Cos(float64(i)), math.Sin(float64(i)))
+		}
+		buf := make([]complex128, n)
+		p := fft.PlanFor(n)
+		fwd := func() {
+			copy(buf, src)
+			p.Forward(buf)
+		}
+
+		rp := fft.RPlanFor(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Cos(float64(i))
+		}
+		spec := make([]complex128, rp.HalfLen())
+		rfftCpx := func() {
+			rp.Forward(x, spec)
+			rp.Inverse(spec, x)
+		}
+		sr := make([]float64, rp.HalfLen())
+		si := make([]float64, rp.HalfLen())
+		rfftSoA := func() {
+			rp.ForwardSoA(x, sr, si)
+			rp.InverseSoA(sr, si, x)
+		}
+
+		prev := fft.SetSoA(true)
+		fwdSoA, rfftSoAT := timeIt(fwd), timeIt(rfftSoA)
+		fft.SetSoA(false)
+		fwdCpx, rfftCpxT := timeIt(fwd), timeIt(rfftCpx)
+		fft.SetSoA(prev)
+
+		micro.Rows = append(micro.Rows, []string{
+			fmt.Sprint(n),
+			secs(fwdSoA), secs(fwdCpx), ratio(fwdCpx, fwdSoA),
+			secs(rfftSoAT), secs(rfftCpxT), ratio(rfftCpxT, rfftSoAT),
+		})
+	}
+
+	solve := &Table{
+		ID:     "simd-evolve",
+		Title:  "Stencil evolution (EvolveCone, 3-point stencil): SoA vs complex spectrum path (seconds per evolve)",
+		Note:   "each evolve is forward rfft + spectrum multiply + inverse rfft at the padded size; k chosen so the kernel-spectrum cache is warm in both arms",
+		Header: []string{"n", "k", "soa_s", "cpx_s", "speedup"},
+	}
+	s := linstencil.Stencil{MinOff: -1, W: []float64{0.25, 0.5, 0.25}}
+	for _, n := range []int{1 << 14, 1 << 16, 1 << 17} {
+		if n > cfg.MaxT {
+			break
+		}
+		k := 64
+		cur := make([]float64, n)
+		for i := range cur {
+			cur[i] = math.Sin(float64(i) / 64)
+		}
+		run := func() {
+			vals, _ := linstencil.EvolveCone(cur, s, k)
+			_ = vals
+		}
+		prev := fft.SetSoA(true)
+		run() // warm plans, SoA tables, and the kernel-spectrum cache
+		soaT := timeIt(run)
+		fft.SetSoA(false)
+		run()
+		cpxT := timeIt(run)
+		fft.SetSoA(prev)
+
+		solve.Rows = append(solve.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(k),
+			secs(soaT), secs(cpxT), ratio(cpxT, soaT),
+		})
+	}
+	return []*Table{micro, solve}, nil
+}

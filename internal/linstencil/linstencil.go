@@ -114,10 +114,17 @@ func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) 
 	x := scratch.Floats(N)
 	copy(x, cur)
 	clear(x[n:])
-	spec := scratch.Complexes(rp.HalfLen())
-	rp.Forward(x, spec)
-	mulSpectrum(spec, kernelSpectrum(s, 0, N, k, rp))
-	rp.Inverse(spec, x)
+	if fft.SoA() && N >= 8 {
+		// SoA plane path: the spectrum never materializes as complex128 —
+		// forward, pointwise multiply, and inverse all run on split planes.
+		evolveSpectrumSoA(rp, x, kernelSpectrum(s, 0, N, k, rp))
+	} else {
+		spec := scratch.Complexes(rp.HalfLen())
+		rp.Forward(x, spec)
+		mulSpectrum(spec, kernelSpectrum(s, 0, N, k, rp))
+		rp.Inverse(spec, x)
+		scratch.PutComplexes(spec)
+	}
 
 	// x[t] now holds corr[t] = sum_m C[m] cur[t+m] for the kernel C of
 	// P(x)^k; position j at time t+k corresponds to t = j + k*MinOff, and
@@ -125,8 +132,22 @@ func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) 
 	vals = scratch.Floats(outN)
 	copy(vals, x[:outN])
 	scratch.PutFloats(x)
-	scratch.PutComplexes(spec)
 	return vals, firstPos
+}
+
+// evolveSpectrumSoA runs forward transform, kernel multiply, and inverse
+// transform of x in place over split spectrum planes. The multiplier stays
+// complex128 (it comes from the kernel-spectrum cache); only the per-solve
+// spectrum data is carried as planes.
+func evolveSpectrumSoA(rp *fft.RPlan, x []float64, mult []complex128) {
+	hl := rp.HalfLen()
+	sr := scratch.Floats(hl)
+	si := scratch.Floats(hl)
+	rp.ForwardSoA(x, sr, si)
+	mulSpectrumSoA(sr, si, mult)
+	rp.InverseSoA(sr, si, x)
+	scratch.PutFloats(sr)
+	scratch.PutFloats(si)
 }
 
 // mulSpectrum multiplies the half spectrum pointwise by the cached kernel
@@ -150,6 +171,28 @@ func mulSpectrumPar(spec, mult []complex128) {
 			spec[f] *= mult[f]
 		}
 	})
+}
+
+// mulSpectrumSoA is mulSpectrum over split spectrum planes: one complex
+// multiply per bin, expanded into float64 lane arithmetic.
+func mulSpectrumSoA(sr, si []float64, mult []complex128) {
+	if len(sr) >= fft.ParThreshold() {
+		mulSpectrumSoAPar(sr, si, mult)
+		return
+	}
+	mulSpectrumSoARange(sr, si, mult, 0, len(sr))
+}
+
+func mulSpectrumSoARange(sr, si []float64, mult []complex128, lo, hi int) {
+	for f := lo; f < hi; f++ {
+		mr, mi := real(mult[f]), imag(mult[f])
+		r, i := sr[f], si[f]
+		sr[f], si[f] = r*mr-i*mi, r*mi+i*mr
+	}
+}
+
+func mulSpectrumSoAPar(sr, si []float64, mult []complex128) {
+	par.For(len(sr), 4096, func(lo, hi int) { mulSpectrumSoARange(sr, si, mult, lo, hi) })
 }
 
 // evolveConeComplex is the pre-real-path implementation: full complex128
@@ -228,6 +271,10 @@ func EvolvePeriodic(cur []float64, s Stencil, k int) []float64 {
 	rp := fft.RPlanFor(n)
 	x := scratch.Floats(n)
 	copy(x, cur)
+	if fft.SoA() && n >= 8 {
+		evolveSpectrumSoA(rp, x, kernelSpectrum(s, s.MinOff, n, k, rp))
+		return x
+	}
 	spec := scratch.Complexes(rp.HalfLen())
 	rp.Forward(x, spec)
 	mulSpectrum(spec, kernelSpectrum(s, s.MinOff, n, k, rp))

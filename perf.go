@@ -41,6 +41,12 @@ type PerfCounters struct {
 	// stages (8 per real sample, 16 per complex sample, per direction). The
 	// real-input path moves half the bytes of the complex path it replaced.
 	FFTBytesTransformed int64
+	// FFTSoATransforms counts transforms executed by the SoA split-plane
+	// kernel (per direction). With the SoA path enabled — the default on
+	// machines with the accelerated butterfly kernel — a healthy workload
+	// shows this tracking the transform count, and its bytes are included in
+	// FFTBytesTransformed.
+	FFTSoATransforms int64
 	// RepricingMemoHits / RepricingMemoMisses count how often a batch
 	// engine served a repricing from its per-batch memo versus priced it
 	// fresh. A chain with Greeks and implied vols enabled reprices shared
@@ -82,6 +88,7 @@ func ReadPerfCounters() PerfCounters {
 		SpectrumSymbolMisses: symMisses,
 		SpectrumCrossResHits: crossRes,
 		FFTBytesTransformed:  fft.TransformedBytes(),
+		FFTSoATransforms:     fft.SoATransforms(),
 		RepricingMemoHits:    memoHits,
 		RepricingMemoMisses:  memoMisses,
 		TickReprices:         srv.TickReprices,
