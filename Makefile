@@ -6,7 +6,7 @@ GO ?= go
 # with .github/workflows/ci.yml.
 RACE_PKGS = ./...
 
-.PHONY: ci fmt vet build test race smoke bench fuzz-smoke
+.PHONY: ci fmt vet build test race smoke chaos bench fuzz-smoke
 
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt vet build test
@@ -54,6 +54,16 @@ smoke: vet
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestSoANotSlowerSmoke -v ./internal/fft/
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestScenarioSweepNotSlowerSmoke -v .
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestServeLoadSmoke -v .
+
+# chaos mirrors the CI chaos-smoke job: the fault-injected robustness tests
+# (breaker lifecycle, quarantine, canceled flights) under the race detector,
+# the gated chaos replay smoke test, and the serve-chaos harness experiment
+# (availability + degraded-mode accounting under injected solver panics and
+# slowdowns, recorded to BENCH_chaos.json).
+chaos:
+	$(GO) test -race -count=1 -run 'TestServerBreakerLifecycle|TestServerQuarantineAndRecovery|TestServerQuoteCtxCanceledMidFlight|TestPriceBatchPanicIsolationRestoresBudget|TestScenarioSweepCtxCancelMidRun' .
+	AMOP_BENCH_SMOKE=1 $(GO) test -race -count=1 -run TestServeChaosSmoke -v .
+	$(GO) run ./cmd/amop-bench -experiment serve-chaos -maxT 1024 -json BENCH_chaos.json
 
 # bench regenerates the quick cross-section of every experiment and records
 # the machine-readable perf trajectory (BENCH_all.json).

@@ -25,6 +25,7 @@
 package amop
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/nlstencil/amop/internal/option"
@@ -141,13 +142,27 @@ type Config struct {
 
 // Price prices the option under the given model and configuration.
 func Price(o Option, m Model, cfg Config) (float64, error) {
-	return priceModel(o, m, cfg, nil)
+	return priceModel(o, m, cfg, nil, nil)
 }
 
-// priceModel is Price with an optional cache of constructed lattice models;
-// the batch engine passes one so that requests sharing lattice parameters
-// reuse a single model instance. A nil cache constructs models directly.
-func priceModel(o Option, m Model, cfg Config, cache *modelCache) (float64, error) {
+// PriceCtx is Price with a context: the Fast solvers poll ctx at trapezoid
+// granularity and return ctx.Err() when it is done, so an expired deadline
+// or a dropped client stops burning cores within one trapezoid of work. The
+// Theta(T^2) baseline algorithms run to completion regardless — they exist
+// for benchmarking, not serving.
+func PriceCtx(ctx context.Context, o Option, m Model, cfg Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return priceModel(o, m, cfg, nil, ctx.Err)
+}
+
+// priceModel is Price with an optional cache of constructed lattice models
+// and an optional cancellation hook polled by the Fast solvers; the batch
+// engine passes both so that requests sharing lattice parameters reuse a
+// single model instance and in-flight solves observe cancellation. A nil
+// cache constructs models directly; a nil cancel never cancels.
+func priceModel(o Option, m Model, cfg Config, cache *modelCache, cancel func() error) (float64, error) {
 	if cfg.Steps < 1 {
 		return 0, fmt.Errorf("amop: Config.Steps = %d must be >= 1", cfg.Steps)
 	}
@@ -162,8 +177,8 @@ func priceModel(o Option, m Model, cfg Config, cache *modelCache) (float64, erro
 			return priceEuropeanLattice(cfg, kind,
 				mdl.PriceEuropean, mdl.PriceEuropeanNaive)
 		}
-		return priceAmericanLattice(cfg, kind,
-			mdl.PriceFast, mdl.PriceFastPut, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
+		return priceAmericanLattice(cfg, kind, cancel,
+			mdl.PriceFastCancel, mdl.PriceFastPutCancel, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
 	case Trinomial:
 		mdl, err := cache.topm(o.params(), cfg)
 		if err != nil {
@@ -173,8 +188,8 @@ func priceModel(o Option, m Model, cfg Config, cache *modelCache) (float64, erro
 			return priceEuropeanLattice(cfg, kind,
 				mdl.PriceEuropean, mdl.PriceEuropeanNaive)
 		}
-		return priceAmericanLattice(cfg, kind,
-			mdl.PriceFast, mdl.PriceFastPut, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
+		return priceAmericanLattice(cfg, kind, cancel,
+			mdl.PriceFastCancel, mdl.PriceFastPutCancel, mdl.PriceNaive, mdl.PriceNaiveParallel, mdl.PriceTiled, mdl.PriceRecursive)
 	case BlackScholesFD:
 		mdl, err := cache.bsm(o.params(), cfg)
 		if err != nil {
@@ -198,7 +213,7 @@ func priceModel(o Option, m Model, cfg Config, cache *modelCache) (float64, erro
 		}
 		switch cfg.Algorithm {
 		case Fast:
-			return mdl.PriceFast()
+			return mdl.PriceFastCancel(cancel)
 		case Naive:
 			return mdl.PriceNaive(), nil
 		case NaiveParallel:
@@ -216,9 +231,9 @@ func priceModel(o Option, m Model, cfg Config, cache *modelCache) (float64, erro
 // fast puts are this library's experimental extension (empirically validated
 // green-left boundary structure — see internal/fbstencil/greenleftos.go).
 func priceAmericanLattice(
-	cfg Config, kind option.Kind,
-	fast func() (float64, error),
-	fastPut func() (float64, error),
+	cfg Config, kind option.Kind, cancel func() error,
+	fast func(func() error) (float64, error),
+	fastPut func(func() error) (float64, error),
 	naive, naivePar func(option.Kind) float64,
 	tiled func(option.Kind, int, int) float64,
 	recursive func(option.Kind) float64,
@@ -226,9 +241,9 @@ func priceAmericanLattice(
 	switch cfg.Algorithm {
 	case Fast:
 		if kind == option.Put {
-			return fastPut()
+			return fastPut(cancel)
 		}
-		return fast()
+		return fast(cancel)
 	case Naive:
 		return naive(kind), nil
 	case NaiveParallel:

@@ -10,15 +10,22 @@
 package amop
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/nlstencil/amop/internal/bopm"
 	"github.com/nlstencil/amop/internal/bsm"
+	"github.com/nlstencil/amop/internal/faultinject"
 	"github.com/nlstencil/amop/internal/fft"
 	"github.com/nlstencil/amop/internal/option"
 	"github.com/nlstencil/amop/internal/par"
+	"github.com/nlstencil/amop/internal/serve"
 	"github.com/nlstencil/amop/internal/topm"
 )
 
@@ -36,6 +43,11 @@ type Request struct {
 	// Config carries the per-request steps and algorithm, exactly as in
 	// Price. Config.Steps is required (>= 1).
 	Config Config
+	// Tag is an opaque label carried for observability and fault injection
+	// (the live server tags each request with its symbol). It is NOT part
+	// of the pricing identity: requests differing only in Tag share one
+	// memo entry.
+	Tag string
 }
 
 // Result is the outcome of one Request. Err is set per item: one bad
@@ -62,6 +74,36 @@ type BatchOptions struct {
 	// amortization (the harness's radix4 experiment); leave it off in
 	// production.
 	DisableMemo bool
+	// Interactive marks the batch as quote-path work: its pool workers are
+	// exempt from the bulk-reserve headroom (par.SetBulkReserve). Plain
+	// batches and scenario sweeps are bulk class — under budget pressure
+	// they degrade to serial execution first, so interactive repricing
+	// flights (the live server sets Interactive) keep forking. Leave it
+	// unset for desk analytics.
+	Interactive bool
+}
+
+// SolvePanicError is the per-item error produced when a pricer panics. It
+// carries the panic value and the stack captured at the panic site (for
+// panics raised inside a par fork, the forked worker's stack), so quarantine
+// records and logs stay diagnosable. Match with errors.As.
+type SolvePanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *SolvePanicError) Error() string {
+	return fmt.Sprintf("amop: panic while pricing: %v", e.Value)
+}
+
+// newSolvePanicError wraps a recovered panic value, preferring the
+// panic-site stack a par.PanicError already carries over the (post-unwind)
+// stack at the recovery site.
+func newSolvePanicError(r any) *SolvePanicError {
+	if pe, ok := r.(*par.PanicError); ok {
+		return &SolvePanicError{Value: pe.Value, Stack: pe.Stack}
+	}
+	return &SolvePanicError{Value: r, Stack: debug.Stack()}
 }
 
 // PriceBatch prices every request over a bounded worker pool and returns one
@@ -77,19 +119,30 @@ type BatchOptions struct {
 // repriced every tick) derive each stencil-symbol power spectrum once and
 // amortize it across the whole pool. ReadPerfCounters exposes the hit rate.
 func PriceBatch(reqs []Request, opts BatchOptions) []Result {
+	return PriceBatchCtx(context.Background(), reqs, opts)
+}
+
+// PriceBatchCtx is PriceBatch with a context. Cancellation is observed at
+// two granularities: items not yet started fail immediately with ctx.Err()
+// (admission control — an expired deadline sheds the rest of the batch
+// without solving anything), and items already solving stop within one
+// trapezoid of work. Partial results priced before the cancellation are
+// kept; the returned slice always has one Result per request.
+func PriceBatchCtx(ctx context.Context, reqs []Request, opts BatchOptions) []Result {
 	res := make([]Result, len(reqs))
 	if len(reqs) == 0 {
 		return res
 	}
 	eng := newEngine()
 	eng.memoOff = opts.DisableMemo
+	eng.cancel = ctxCancel(ctx)
 	maxSteps := 0
 	for i := range reqs {
 		maxSteps = max(maxSteps, reqs[i].Config.Steps)
 	}
 	eng.prewarm(maxSteps)
 	var deliverMu sync.Mutex
-	runPool(len(reqs), opts.Workers, func(i int) {
+	runPool(len(reqs), opts.Workers, !opts.Interactive, func(i int) {
 		r := eng.run(reqs[i])
 		res[i] = r
 		if opts.OnResult != nil {
@@ -101,11 +154,22 @@ func PriceBatch(reqs []Request, opts BatchOptions) []Result {
 	return res
 }
 
+// ctxCancel projects a context onto the solvers' polling hook; the
+// background context (never done) maps to nil so the hot path skips the
+// poll entirely.
+func ctxCancel(ctx context.Context) func() error {
+	if ctx == nil || ctx == context.Background() || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
 // runPool executes job(0..n-1) on up to workers goroutines (bounded by n and
 // by the global par spawn budget), pulling indices dynamically so
 // heterogeneous jobs — mixed step counts, mixed algorithms — balance across
-// the pool. The calling goroutine is one of the workers.
-func runPool(n, workers int, job func(i int)) {
+// the pool. The calling goroutine is one of the workers. Bulk pools leave
+// the par.SetBulkReserve headroom untouched.
+func runPool(n, workers int, bulk bool, job func(i int)) {
 	w := workers
 	if w <= 0 {
 		w = par.Workers()
@@ -125,7 +189,11 @@ func runPool(n, workers int, job func(i int)) {
 	}
 	spawn := 0
 	if w > 1 {
-		spawn = par.TryAcquire(w - 1)
+		if bulk {
+			spawn = par.TryAcquireBulk(w - 1)
+		} else {
+			spawn = par.TryAcquire(w - 1)
+		}
 	}
 	// Release via defer: a panic escaping the inline worker (e.g. from a
 	// user OnResult callback) must not leak the process-wide spawn budget.
@@ -164,7 +232,8 @@ func resolveModel(o Option, m Model, cfg Config) Model {
 // concurrent use.
 type engine struct {
 	models  modelCache
-	memoOff bool // set before the pool starts; read-only afterwards
+	memoOff bool         // set before the pool starts; read-only afterwards
+	cancel  func() error // batch-wide cancellation hook; nil means never
 
 	mu   sync.Mutex
 	memo map[priceKey]*priceEntry
@@ -216,10 +285,39 @@ type priceEntry struct {
 func (e *engine) run(req Request) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = Result{Err: fmt.Errorf("amop: panic while pricing: %v", r)}
+			serve.AddPanicRecovered()
+			res = Result{Err: newSolvePanicError(r)}
 		}
 	}()
+	// Admission: an item whose batch is already canceled fails before any
+	// model construction or solving. This is what lets an expired deadline
+	// shed a half-finished sweep in microseconds.
+	if e.cancel != nil {
+		if err := e.cancel(); err != nil {
+			serve.AddCtxCancel()
+			return Result{Err: err}
+		}
+	}
+	if faultinject.Enabled() {
+		if act := faultinject.OnSolve(req.Tag); act != (faultinject.Action{}) {
+			if act.Delay > 0 {
+				time.Sleep(act.Delay)
+			}
+			if act.Panic {
+				panic(fmt.Sprintf("faultinject: injected solver panic (tag %q)", req.Tag))
+			}
+			if act.NaN {
+				// Simulate numerical poison escaping a solver: a NaN price
+				// with no error, exactly what the surface-health gate must
+				// catch downstream.
+				return Result{Price: math.NaN()}
+			}
+		}
+	}
 	p, err := e.price(req.Option, resolveModel(req.Option, req.Model, req.Config), req.Config)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		serve.AddCtxCancel()
+	}
 	return Result{Price: p, Err: err}
 }
 
@@ -227,7 +325,7 @@ func (e *engine) run(req Request) (res Result) {
 // are priced exactly once; concurrent duplicates wait for the first.
 func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
 	if e.memoOff {
-		return priceModel(o, m, cfg, &e.models)
+		return priceModel(o, m, cfg, &e.models, e.cancel)
 	}
 	k := priceKey{o: o, m: m, cfg: cfg}
 	e.mu.Lock()
@@ -246,10 +344,11 @@ func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
 		// would otherwise read a silent (0, nil) from the poisoned entry.
 		defer func() {
 			if r := recover(); r != nil {
-				ent.err = fmt.Errorf("amop: panic while pricing: %v", r)
+				serve.AddPanicRecovered()
+				ent.err = newSolvePanicError(r)
 			}
 		}()
-		ent.price, ent.err = priceModel(o, m, cfg, &e.models)
+		ent.price, ent.err = priceModel(o, m, cfg, &e.models, e.cancel)
 	})
 	return ent.price, ent.err
 }
@@ -444,6 +543,14 @@ func (o ChainOptions) withDefaults() ChainOptions {
 // (see AutoModel), errors are reported per cell, and the whole grid shares
 // one bounded worker pool and one model/price cache.
 func Chain(underlying Option, strikes, expiries []float64, opts ChainOptions) []Quote {
+	return ChainCtx(context.Background(), underlying, strikes, expiries, opts)
+}
+
+// ChainCtx is Chain with a context: cells not yet started fail immediately
+// with ctx.Err() once the context is done, and in-flight solves stop within
+// one trapezoid of work. Chains are bulk-class work — see
+// BatchOptions.Interactive.
+func ChainCtx(ctx context.Context, underlying Option, strikes, expiries []float64, opts ChainOptions) []Quote {
 	o := opts.withDefaults()
 	quotes := make([]Quote, len(strikes)*len(expiries))
 	if len(quotes) == 0 {
@@ -451,8 +558,9 @@ func Chain(underlying Option, strikes, expiries []float64, opts ChainOptions) []
 	}
 	eng := newEngine()
 	eng.memoOff = o.DisableMemo
+	eng.cancel = ctxCancel(ctx)
 	eng.prewarm(max(o.Steps, max(o.GreeksSteps, o.IVSteps)))
-	runPool(len(quotes), o.Workers, func(idx int) {
+	runPool(len(quotes), o.Workers, true, func(idx int) {
 		i, j := idx/len(expiries), idx%len(expiries)
 		quotes[idx] = eng.quote(underlying, strikes[i], expiries[j], o)
 	})
@@ -464,9 +572,17 @@ func (e *engine) quote(underlying Option, strike, expiry float64, opts ChainOpti
 	q = Quote{Strike: strike, Expiry: expiry}
 	defer func() {
 		if r := recover(); r != nil {
-			q.Err = fmt.Errorf("amop: panic while quoting K=%v E=%v: %v", strike, expiry, r)
+			serve.AddPanicRecovered()
+			q.Err = fmt.Errorf("amop: panic while quoting K=%v E=%v: %w", strike, expiry, newSolvePanicError(r))
 		}
 	}()
+	if e.cancel != nil {
+		if err := e.cancel(); err != nil {
+			serve.AddCtxCancel()
+			q.Err = err
+			return q
+		}
+	}
 	o := underlying
 	o.K, o.E = strike, expiry
 

@@ -30,13 +30,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/nlstencil/amop"
@@ -136,7 +139,12 @@ func main() {
 		}
 		opts.OnResult = func(i int, r amop.Result) { stream(origIdx[i], r) }
 	}
-	for i, r := range amop.PriceBatch(reqs, opts) {
+	// ^C cancels the batch instead of killing the process mid-write: solved
+	// contracts have already streamed, the remainder report the cancellation
+	// as their per-item error, and the summary still flushes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for i, r := range amop.PriceBatchCtx(ctx, reqs, opts) {
 		results[origIdx[i]] = r
 	}
 	elapsed := time.Since(start)

@@ -26,18 +26,33 @@
 //	                        response reports how many contracts the tick
 //	                        moved vs skipped (quantization at work)
 //	GET  /quote?id=3        one contract's quote: price, the exact market
-//	                        point it was solved at, its age, staleness flag
+//	                        point it was solved at, its age, staleness and
+//	                        degradation flags
 //	GET  /quotes            the whole surface
 //	GET  /metrics           Prometheus text: serving counters (tick
-//	                        reprices/skips, coalesced requests, stale and
-//	                        cache serves) plus the fast-path cache counters
+//	                        reprices/skips, coalesced requests, stale, cache
+//	                        and degraded serves, recovered panics, circuit
+//	                        opens, context cancels) plus the fast-path cache
+//	                        counters
 //
 // Quotes for contracts whose market moved block on a coalesced re-solve
 // unless the surface entry is younger than -max-staleness, in which case the
-// stale price is served immediately with "stale": true.
+// stale price is served immediately with "stale": true. Quotes answered in
+// degraded mode — the fresh solve failed its health gate, panicked (the
+// contract is quarantined), or the symbol's circuit breaker is open — carry
+// "degraded": true and the X-Amop-Degraded response header; shed requests
+// (503) carry Retry-After. Each quote observes its request's context, so a
+// client disconnect stops the wait (the shared repricing flight keeps
+// running for other waiters).
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// connections, lets in-flight requests finish (http.Server.Shutdown), drains
+// the in-flight repricing flight so its surface write-back completes, and
+// logs a final counter snapshot.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -45,7 +60,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"github.com/nlstencil/amop"
@@ -63,6 +80,9 @@ func main() {
 		maxStaleness = flag.Duration("max-staleness", 0, "serve a moved contract's previous price if younger than this (0: always re-solve)")
 		maxPending   = flag.Int("max-pending", 1024, "bound on quote requests queued behind one repricing batch (0: unbounded)")
 		workers      = flag.Int("workers", 0, "repricing batch worker bound (0: one per core)")
+		brkFails     = flag.Int("breaker-threshold", 0, "consecutive solve failures that open a symbol's circuit breaker (0: default 3)")
+		brkBackoff   = flag.Duration("breaker-backoff", 0, "initial circuit-breaker backoff before a probe solve (0: default 100ms)")
+		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight requests and repricing")
 	)
 	flag.Parse()
 	if *bookPath == "" {
@@ -76,13 +96,43 @@ func main() {
 	s, err := amop.NewServer(entries, amop.ServerOptions{
 		SpotBucket: *spotBucket, VolBucket: *volBucket, RateBucket: *rateBucket,
 		MaxStaleness: *maxStaleness, MaxPending: *maxPending, Workers: *workers,
+		BreakerThreshold: *brkFails, BreakerBackoff: *brkBackoff,
 	})
 	if err != nil {
 		fail(err)
 	}
 	log.Printf("amop-serve: priced %d contracts in %v; listening on %s",
 		s.Contracts(), time.Since(start).Round(time.Millisecond), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(s, rows)))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: newMux(s, rows)}
+	errc := make(chan error, 1)
+	//amop:allow-go HTTP accept loop: one goroutine for the daemon's lifetime, joined through errc on ListenAndServe's return
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills the drain
+	log.Printf("amop-serve: shutdown signal received; draining (bound %v)", *drainWait)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Order matters: Shutdown stops admitting requests and waits the
+	// in-flight ones out, then Drain waits for the repricing flight those
+	// requests may have led so its surface write-back completes cleanly.
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("amop-serve: shutdown: %v", err)
+	}
+	if err := s.Drain(sctx); err != nil {
+		log.Printf("amop-serve: flight drain: %v", err)
+	}
+	c := amop.ReadPerfCounters()
+	log.Printf("amop-serve: final counters: cache_hits=%d stale_serves=%d coalesced=%d degraded_serves=%d panics_recovered=%d circuit_opens=%d ctx_cancels=%d",
+		c.ServeCacheHits, c.StaleServes, c.CoalescedRequests, c.DegradedServes,
+		c.PanicsRecovered, c.CircuitOpens, c.CtxCancels)
 }
 
 // loadBook reads the -book file: a JSON array of contracts in the shared
@@ -138,7 +188,11 @@ type quoteBody struct {
 	Rate  float64 `json:"rate"`
 	AgeMs float64 `json:"age_ms"`
 	Stale bool    `json:"stale"`
-	Error string  `json:"error,omitempty"`
+	// Degraded marks a quote served from the contract's pinned last-good
+	// price because the fresh solve failed or its symbol's circuit breaker
+	// is open.
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // newMux builds the daemon's HTTP surface over a running server. It is
@@ -183,10 +237,10 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 		})
 	})
 
-	quoteOf := func(id int) (quoteBody, error) {
+	quoteOf := func(ctx context.Context, id int) (quoteBody, error) {
 		row := rows[id]
 		out := quoteBody{ID: id, Symbol: row.Symbol, Type: row.Type, K: row.K, E: row.E}
-		q, err := s.Quote(id)
+		q, err := s.QuoteCtx(ctx, id)
 		if err != nil {
 			out.Error = err.Error()
 			return out, err
@@ -195,6 +249,7 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 		out.Spot, out.Vol, out.Rate = q.Market.Spot, q.Market.Vol, q.Market.Rate
 		out.AgeMs = float64(time.Since(q.At).Microseconds()) / 1e3
 		out.Stale = q.Stale
+		out.Degraded = q.Degraded
 		return out, nil
 	}
 
@@ -208,13 +263,21 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 			httpErr(w, http.StatusNotFound, fmt.Errorf("quote id %d out of range [0, %d)", id, s.Contracts()))
 			return
 		}
-		q, err := quoteOf(id)
+		q, qErr := quoteOf(r.Context(), id)
 		status := http.StatusOK
 		switch {
-		case errors.Is(err, amop.ErrServerBusy):
+		case errors.Is(qErr, amop.ErrServerBusy),
+			errors.Is(qErr, context.Canceled),
+			errors.Is(qErr, context.DeadlineExceeded):
+			// Shed or abandoned: the surface is fine, the caller should just
+			// come back — tell it when.
 			status = http.StatusServiceUnavailable
-		case err != nil:
+			w.Header().Set("Retry-After", "1")
+		case qErr != nil:
 			status = http.StatusInternalServerError
+		}
+		if q.Degraded {
+			w.Header().Set("X-Amop-Degraded", "true")
 		}
 		writeJSON(w, status, q)
 	})
@@ -222,7 +285,7 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 	mux.HandleFunc("/quotes", func(w http.ResponseWriter, r *http.Request) {
 		out := make([]quoteBody, s.Contracts())
 		for id := range out {
-			out[id], _ = quoteOf(id) // per-row errors are reported in the row
+			out[id], _ = quoteOf(r.Context(), id) // per-row errors are reported in the row
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -239,6 +302,10 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 			{"amop_serve_coalesced_requests_total", c.CoalescedRequests},
 			{"amop_serve_stale_serves_total", c.StaleServes},
 			{"amop_serve_cache_hits_total", c.ServeCacheHits},
+			{"amop_serve_panics_recovered_total", c.PanicsRecovered},
+			{"amop_serve_degraded_serves_total", c.DegradedServes},
+			{"amop_serve_circuit_opens_total", c.CircuitOpens},
+			{"amop_serve_ctx_cancels_total", c.CtxCancels},
 			{"amop_spectrum_cache_hits_total", c.SpectrumCacheHits},
 			{"amop_spectrum_cache_misses_total", c.SpectrumCacheMisses},
 			{"amop_spectrum_cross_res_hits_total", c.SpectrumCrossResHits},

@@ -49,11 +49,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/nlstencil/amop"
@@ -187,7 +190,12 @@ func main() {
 		}
 		emit(line)
 	}
-	sw := amop.ScenarioSweep(reqs, scenarios, opts)
+	// ^C cancels the sweep at trapezoid granularity instead of killing the
+	// process: cells already solved have streamed, unsolved cells report the
+	// cancellation per item, and the summary still flushes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sw := amop.ScenarioSweepCtx(ctx, reqs, scenarios, opts)
 	elapsed := time.Since(start)
 	after := amop.ReadPerfCounters()
 

@@ -120,6 +120,17 @@ func (m *Model) PriceFast() (float64, error) {
 
 // PriceFastStats is PriceFast with work-counter collection.
 func (m *Model) PriceFastStats(st *fbstencil.Stats) (float64, error) {
+	return m.priceFast(st, nil)
+}
+
+// PriceFastCancel is PriceFast with a cancellation hook, polled at trapezoid
+// granularity (typically ctx.Err of a request context); the first non-nil
+// error it returns aborts the solve and is returned.
+func (m *Model) PriceFastCancel(cancel func() error) (float64, error) {
+	return m.priceFast(nil, cancel)
+}
+
+func (m *Model) priceFast(st *fbstencil.Stats, cancel func() error) (float64, error) {
 	prob := &fbstencil.GreenRight{
 		Stencil:  m.Stencil(),
 		T:        m.T,
@@ -128,6 +139,7 @@ func (m *Model) PriceFastStats(st *fbstencil.Stats) (float64, error) {
 		Green:    func(depth, col int) float64 { return m.Exercise(option.Call, depth, col) },
 		Bnd0:     m.leafBoundary(),
 		BaseCase: m.baseC,
+		Cancel:   cancel,
 	}
 	v, _, err := fbstencil.SolveGreenRight(prob, st)
 	return v, err

@@ -58,6 +58,15 @@ func (m *Model) PriceFastPutStats(st *fbstencil.Stats) (float64, error) {
 	return v, err
 }
 
+// PriceFastPutCancel is PriceFastPut with a cancellation hook, polled at
+// trapezoid granularity.
+func (m *Model) PriceFastPutCancel(cancel func() error) (float64, error) {
+	prob := m.putProblem()
+	prob.Cancel = cancel
+	v, _, err := fbstencil.SolveGreenLeftOneSided(prob, nil)
+	return v, err
+}
+
 // ValidatePutStructure runs the O(T^2) structural validator for the put's
 // free boundary on this instance (contiguity, monotonicity, unit drops) and
 // returns the first violation, if any.

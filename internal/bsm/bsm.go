@@ -136,6 +136,16 @@ func (m *Model) PriceFast() (float64, error) {
 
 // PriceFastStats is PriceFast with work-counter collection.
 func (m *Model) PriceFastStats(st *fbstencil.Stats) (float64, error) {
+	return m.priceFast(st, nil)
+}
+
+// PriceFastCancel is PriceFast with a cancellation hook, polled at trapezoid
+// granularity.
+func (m *Model) PriceFastCancel(cancel func() error) (float64, error) {
+	return m.priceFast(nil, cancel)
+}
+
+func (m *Model) priceFast(st *fbstencil.Stats, cancel func() error) (float64, error) {
 	prob := &fbstencil.GreenLeft{
 		Stencil:  m.Stencil(),
 		T:        m.T,
@@ -145,6 +155,7 @@ func (m *Model) PriceFastStats(st *fbstencil.Stats) (float64, error) {
 		Green:    func(depth, col int) float64 { return m.green(col) },
 		Bnd0:     m.leafBoundary(),
 		BaseCase: m.baseC,
+		Cancel:   cancel,
 	}
 	v, _, err := fbstencil.SolveGreenLeft(prob, st)
 	return m.Prm.K * v, err

@@ -27,13 +27,73 @@
 package fbstencil
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"github.com/nlstencil/amop/internal/linstencil"
 	"github.com/nlstencil/amop/internal/par"
 	"github.com/nlstencil/amop/internal/scratch"
 )
+
+// ErrNonFinite is wrapped by the error a solve returns when its result is
+// NaN or Inf: the surface-health gate in the serving layer matches on it to
+// pin the last-good quote instead of publishing poison.
+var ErrNonFinite = errors.New("non-finite solve result")
+
+// canceled is the sentinel carried by the panic that unwinds a canceled
+// solve. The recursion is deep and forks through par.Do, so unwinding by
+// panic — recovered at the Solve* entry point, never escaping the package —
+// is what keeps the cancellation checkpoints down to one branch instead of
+// threading an error return through every level. Scratch buffers in flight
+// are abandoned to the GC rather than returned to their pools; that is
+// explicitly safe (see the buffer-discipline note above: correctness never
+// depends on a Put succeeding), and par's own defers keep the spawn budget
+// paired on the panic path.
+type canceled struct{ err error }
+
+// checkCancel polls the problem's cancellation hook (nil means
+// non-cancelable) and unwinds the solve when it reports an error.
+func checkCancel(cancel func() error) {
+	if cancel == nil {
+		return
+	}
+	if err := cancel(); err != nil {
+		panic(canceled{err})
+	}
+}
+
+// recoverCancel converts the cancellation sentinel back into an ordinary
+// error at a Solve* entry point. A sentinel raised inside a par fork arrives
+// wrapped in a *par.PanicError; both shapes are handled. Any other panic is
+// genuine and re-raised.
+func recoverCancel(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*par.PanicError); ok {
+		if c, ok := pe.Value.(canceled); ok {
+			*err = c.err
+			return
+		}
+	}
+	if c, ok := r.(canceled); ok {
+		*err = c.err
+		return
+	}
+	panic(r)
+}
+
+// checkFinite is the solver-level health guard: a solve whose apex value is
+// NaN or Inf returns an ErrNonFinite-wrapped error instead of the value.
+func checkFinite(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("fbstencil: %w (apex=%v)", ErrNonFinite, v)
+	}
+	return nil
+}
 
 // Buffer discipline: every row segment, staging window, and zone buffer the
 // solvers churn through comes from internal/scratch's size-classed pools and
@@ -119,6 +179,10 @@ type GreenRight struct {
 	// Green(0, col).
 	Bnd0     int
 	BaseCase int // recursion cutoff; 0 means DefaultBaseCase
+	// Cancel, when non-nil, is polled at trapezoid granularity; the first
+	// non-nil error it returns unwinds the solve, and SolveGreenRight
+	// returns that error. Typically ctx.Err of a request context.
+	Cancel func() error
 }
 
 func (p *GreenRight) validate() error {
@@ -147,12 +211,13 @@ func (p *GreenRight) validate() error {
 }
 
 type grEngine struct {
-	s     linstencil.Stencil
-	r     int // span = max offset
-	hi0   int
-	green GreenFunc
-	base  int
-	stats *Stats
+	s      linstencil.Stencil
+	r      int // span = max offset
+	hi0    int
+	green  GreenFunc
+	base   int
+	stats  *Stats
+	cancel func() error
 }
 
 // hi returns the last valid column at the given depth.
@@ -160,12 +225,15 @@ func (e *grEngine) hi(depth int) int { return e.hi0 - depth*e.r }
 
 // SolveGreenRight runs the fast solver and returns the apex value (depth T,
 // column 0) together with the red/green boundary column of the final row
-// (-1 when the final row is entirely green).
-func SolveGreenRight(p *GreenRight, st *Stats) (float64, int, error) {
+// (-1 when the final row is entirely green). When p.Cancel reports an error
+// the solve stops within roughly one trapezoid of work and returns it; a
+// non-finite apex returns an ErrNonFinite-wrapped error.
+func SolveGreenRight(p *GreenRight, st *Stats) (price float64, boundary int, err error) {
 	if err := p.validate(); err != nil {
 		return 0, 0, err
 	}
-	e := &grEngine{s: p.Stencil, r: p.Stencil.Span(), hi0: p.Hi0, green: p.Green, base: p.BaseCase, stats: st}
+	defer recoverCancel(&err)
+	e := &grEngine{s: p.Stencil, r: p.Stencil.Span(), hi0: p.Hi0, green: p.Green, base: p.BaseCase, stats: st, cancel: p.Cancel}
 	if e.base <= 0 {
 		e.base = DefaultBaseCase
 	}
@@ -190,13 +258,15 @@ func SolveGreenRight(p *GreenRight, st *Stats) (float64, int, error) {
 		d = 1
 	}
 	for d < p.T {
+		checkCancel(e.cancel)
 		if bnd < 0 {
 			// The whole row is green; since the boundary never moves right,
 			// every later row (and the apex) is green too. seg here is at
 			// most a zero-length stub, but its pooled backing array can be
 			// row-sized.
 			scratch.PutFloats(seg)
-			return p.Green(p.T, 0), -1, nil
+			v := p.Green(p.T, 0)
+			return v, -1, checkFinite(v)
 		}
 		remaining := p.T - d
 		old := seg
@@ -215,11 +285,12 @@ func SolveGreenRight(p *GreenRight, st *Stats) (float64, int, error) {
 	}
 	if bnd < 0 {
 		scratch.PutFloats(seg)
-		return p.Green(p.T, 0), -1, nil
+		v := p.Green(p.T, 0)
+		return v, -1, checkFinite(v)
 	}
 	apex := seg[0]
 	scratch.PutFloats(seg)
-	return apex, bnd, nil
+	return apex, bnd, checkFinite(apex)
 }
 
 // exactFirstStep advances the initial row to depth 1 across the full cone
@@ -336,6 +407,7 @@ func (e *grEngine) naiveBlock(seg []float64, c0, bnd, d, h int) ([]float64, int)
 // newBnd at depth d+h. The FFT half and the boundary-side recursion run in
 // parallel, matching the paper's span analysis (Theorem 2.8).
 func (e *grEngine) solveTrap(seg []float64, c0, bnd, d, h int) ([]float64, int) {
+	checkCancel(e.cancel)
 	e.stats.addTrap()
 	if h <= e.base {
 		return e.naiveBlock(seg, c0, bnd, d, h)
@@ -440,6 +512,9 @@ type GreenLeft struct {
 	// whole row is red, >= Hi0 if entirely green).
 	Bnd0     int
 	BaseCase int
+	// Cancel, when non-nil, is polled at trapezoid granularity; see
+	// GreenRight.Cancel.
+	Cancel func() error
 }
 
 func (p *GreenLeft) validate() error {
@@ -462,24 +537,27 @@ func (p *GreenLeft) validate() error {
 }
 
 type glEngine struct {
-	s     linstencil.Stencil
-	lo0   int
-	hi0   int
-	green GreenFunc
-	base  int
-	stats *Stats
+	s      linstencil.Stencil
+	lo0    int
+	hi0    int
+	green  GreenFunc
+	base   int
+	stats  *Stats
+	cancel func() error
 }
 
 func (e *glEngine) lo(depth int) int { return e.lo0 + depth }
 func (e *glEngine) hi(depth int) int { return e.hi0 - depth }
 
 // SolveGreenLeft runs the fast solver and returns the apex value (depth T,
-// column Lo0+T) and the final boundary column.
-func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
+// column Lo0+T) and the final boundary column. Cancellation and health
+// semantics match SolveGreenRight.
+func SolveGreenLeft(p *GreenLeft, st *Stats) (price float64, boundary int, err error) {
 	if err := p.validate(); err != nil {
 		return 0, 0, err
 	}
-	e := &glEngine{s: p.Stencil, lo0: p.Lo0, hi0: p.Hi0, green: p.Green, base: p.BaseCase, stats: st}
+	defer recoverCancel(&err)
+	e := &glEngine{s: p.Stencil, lo0: p.Lo0, hi0: p.Hi0, green: p.Green, base: p.BaseCase, stats: st, cancel: p.Cancel}
 	if e.base <= 0 {
 		e.base = DefaultBaseCase
 	}
@@ -510,11 +588,13 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 		d = 1
 	}
 	for d < p.T {
+		checkCancel(e.cancel)
 		if bnd >= e.hi(d) {
 			// Entire row green; stays green to the apex (boundary is
 			// non-increasing while the right edge shrinks every step).
 			scratch.PutFloats(seg)
-			return p.Green(p.T, apex), bnd, nil
+			v := p.Green(p.T, apex)
+			return v, bnd, checkFinite(v)
 		}
 		remaining := p.T - d
 		if bnd < e.lo(d) {
@@ -525,7 +605,7 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 			v := out[e.lo(d)-(bnd+1)]
 			scratch.PutFloats(out)
 			scratch.PutFloats(seg)
-			return v, bnd, nil
+			return v, bnd, checkFinite(v)
 		}
 		h := min(remaining/2, (e.hi(d)-bnd)/2)
 		if h < e.base {
@@ -568,10 +648,11 @@ func SolveGreenLeft(p *GreenLeft, st *Stats) (float64, int, error) {
 	if apex > bnd {
 		v := seg[apex-(bnd+1)]
 		scratch.PutFloats(seg)
-		return v, bnd, nil
+		return v, bnd, checkFinite(v)
 	}
 	scratch.PutFloats(seg)
-	return p.Green(p.T, apex), bnd, nil
+	v := p.Green(p.T, apex)
+	return v, bnd, checkFinite(v)
 }
 
 // exactFirstStep advances the initial row to depth 1 across the full cone
@@ -669,6 +750,7 @@ func (e *glEngine) naiveStepC(seg []float64, bnd, d int) ([]float64, int) {
 // bnd), it returns the values on columns [bnd-h, bnd+h] at depth d+h and the
 // new boundary. This is the paper's trapezoid egjl recursion (Figure 4a).
 func (e *glEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int) {
+	checkCancel(e.cancel)
 	e.stats.addTrap()
 	if h <= e.base {
 		return e.zoneNaive(read, d, bnd, h)

@@ -41,6 +41,9 @@ type GreenLeftOneSided struct {
 	// interior step (0 means 1). Binomial puts satisfy 1; trinomial puts 2
 	// (one from the grid's per-step price drift plus the boundary's own).
 	MaxDrop int
+	// Cancel, when non-nil, is polled at trapezoid granularity; see
+	// GreenRight.Cancel.
+	Cancel func() error
 }
 
 func (p *GreenLeftOneSided) validate() error {
@@ -69,24 +72,27 @@ func (p *GreenLeftOneSided) validate() error {
 }
 
 type glosEngine struct {
-	s     linstencil.Stencil
-	r     int
-	drop  int // max boundary drop per interior step
-	hi0   int
-	green GreenFunc
-	base  int
-	stats *Stats
+	s      linstencil.Stencil
+	r      int
+	drop   int // max boundary drop per interior step
+	hi0    int
+	green  GreenFunc
+	base   int
+	stats  *Stats
+	cancel func() error
 }
 
 func (e *glosEngine) hi(depth int) int { return e.hi0 - depth*e.r }
 
 // SolveGreenLeftOneSided runs the fast solver and returns the apex value
-// (depth T, column 0) and the final boundary.
-func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, error) {
+// (depth T, column 0) and the final boundary. Cancellation and health
+// semantics match SolveGreenRight.
+func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (price float64, boundary int, err error) {
 	if err := p.validate(); err != nil {
 		return 0, 0, err
 	}
-	e := &glosEngine{s: p.Stencil, r: p.Stencil.Span(), drop: max(p.MaxDrop, 1), hi0: p.Hi0, green: p.Green, base: p.BaseCase, stats: st}
+	defer recoverCancel(&err)
+	e := &glosEngine{s: p.Stencil, r: p.Stencil.Span(), drop: max(p.MaxDrop, 1), hi0: p.Hi0, green: p.Green, base: p.BaseCase, stats: st, cancel: p.Cancel}
 	if e.base <= 0 {
 		e.base = DefaultBaseCase
 	}
@@ -110,11 +116,13 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 		d = 1
 	}
 	for d < p.T {
+		checkCancel(e.cancel)
 		if bnd >= e.hi(d) {
 			// Entirely green; since the boundary never rises while the
 			// right edge shrinks, every later row (and the apex) is green.
 			scratch.PutFloats(seg)
-			return p.Green(p.T, 0), bnd, nil
+			v := p.Green(p.T, 0)
+			return v, bnd, checkFinite(v)
 		}
 		remaining := p.T - d
 		if bnd < 0 {
@@ -124,7 +132,7 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 			v := out[0]
 			scratch.PutFloats(out)
 			scratch.PutFloats(seg)
-			return v, bnd, nil
+			return v, bnd, checkFinite(v)
 		}
 		h := min(remaining, (e.hi(d)-bnd)/e.r)
 		if h < e.base {
@@ -166,11 +174,12 @@ func SolveGreenLeftOneSided(p *GreenLeftOneSided, st *Stats) (float64, int, erro
 	if bnd >= 0 {
 		// Apex column 0 lies at or left of the boundary: green.
 		scratch.PutFloats(seg)
-		return p.Green(p.T, 0), bnd, nil
+		v := p.Green(p.T, 0)
+		return v, bnd, checkFinite(v)
 	}
 	v := seg[0]
 	scratch.PutFloats(seg)
-	return v, bnd, nil
+	return v, bnd, checkFinite(v)
 }
 
 // readRow gives row access at the stated depth: stored red right of bnd,
@@ -269,6 +278,7 @@ func (e *glosEngine) naiveStep(seg []float64, bnd, d int) ([]float64, int) {
 // on columns [bnd-drop*h, bnd+r*h], it returns values on [bnd-drop*h, bnd]
 // at depth d+h and the new boundary.
 func (e *glosEngine) zone(read func(int) float64, d, bnd, h int) ([]float64, int) {
+	checkCancel(e.cancel)
 	e.stats.addTrap()
 	if bnd < 0 {
 		// No green cells remain, so the whole band consists of virtual

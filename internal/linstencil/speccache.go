@@ -1,6 +1,7 @@
 package linstencil
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -209,6 +210,7 @@ func kernelSpectrum(s Stencil, shift, n, k int, rp *fft.RPlan) []complex128 {
 	specMisses.Add(1)
 
 	m := powerSpectrum(symbolTable(key.tab(), s, rp), k)
+	checkSpectrumHealth(m, s, n, k)
 
 	specCache.mu.Lock()
 	if specCache.limit > 0 {
@@ -349,6 +351,23 @@ func symbolAt(s Stencil, shift int, omega complex128) complex128 {
 		sym *= mod
 	}
 	return sym
+}
+
+// checkSpectrumHealth refuses to publish a multiplier spectrum containing
+// NaN or Inf. The cache is process-wide: a poisoned entry (a pathological
+// stencil whose symbol overflows under the k-th power, or corrupted weights)
+// would silently contaminate every future solve sharing the key, across all
+// contracts and requests. Panicking instead keeps the damage confined to the
+// requesting solve — the batch engine's per-item recover turns it into one
+// contract's error — and leaves the cache clean. Cost: one O(n) scan per
+// cache build; the hit path is untouched.
+func checkSpectrumHealth(m []complex128, s Stencil, n, k int) {
+	for f, v := range m {
+		re, im := real(v), imag(v)
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			panic(fmt.Sprintf("linstencil: non-finite kernel spectrum at f=%d (n=%d, k=%d, weights=%v): %v", f, n, k, s.W, v))
+		}
+	}
 }
 
 // powerSpectrum raises a symbol table to the k-th power pointwise (binary

@@ -9,10 +9,57 @@
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"github.com/nlstencil/amop/internal/faultinject"
 )
+
+// PanicError is a panic captured in a worker goroutine and re-raised on the
+// goroutine that forked it. Without this translation a panic in any For/Do/
+// RowSweep worker would crash the whole process (no other goroutine can
+// recover it); with it, fork-join regions have ordinary panic semantics —
+// the panic surfaces at the join point, where the batch engine's and the
+// serving layer's recover handlers can isolate the fault to one contract.
+// Value is the original panic value and Stack the panicking worker's stack,
+// captured at the panic site so quarantine records stay diagnosable.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v", e.Value)
+}
+
+// capture runs f, diverting a panic into pe (first panic wins) instead of
+// letting it escape the goroutine. An already-wrapped *PanicError re-raised
+// by a nested fork-join region passes through unwrapped, so arbitrarily deep
+// nesting surfaces the original site's stack, not a tower of wrappers.
+func capture(pe *atomic.Pointer[PanicError], f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := r.(*PanicError)
+			if !ok {
+				p = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			pe.CompareAndSwap(nil, p)
+		}
+	}()
+	f()
+}
+
+// rethrow re-raises a panic captured by the workers of a fork-join region,
+// after the join (budget tokens released, all workers stopped).
+func rethrow(pe *atomic.Pointer[PanicError]) {
+	if p := pe.Load(); p != nil {
+		panic(p)
+	}
+}
 
 // workerOverride holds the user-requested parallelism. Zero means "use
 // runtime.GOMAXPROCS(0)".
@@ -36,10 +83,26 @@ var spawned atomic.Int64
 // the batch pricing engine) can claim tokens for their own pools and the
 // nested pricers degrade gracefully to serial execution.
 func TryAcquire(max int) int {
+	return tryAcquire(max, 0)
+}
+
+// TryAcquireBulk is TryAcquire for bulk work (batches, scenario sweeps): it
+// leaves SetBulkReserve tokens of headroom untouched so that interactive
+// quote repricing can always fork even while a bulk job saturates the
+// machine. Under pressure this is what sheds sweep/batch parallelism before
+// quote parallelism — bulk callers degrade to serial execution first.
+func TryAcquireBulk(max int) int {
+	return tryAcquire(max, bulkReserve.Load())
+}
+
+func tryAcquire(max int, reserve int64) int {
 	if max <= 0 {
 		return 0
 	}
-	budget := int64(Workers() - 1)
+	if faultinject.Enabled() && faultinject.OnBudget() {
+		return 0
+	}
+	budget := int64(Workers()-1) - reserve
 	for {
 		cur := spawned.Load()
 		free := budget - cur
@@ -60,7 +123,67 @@ func TryAcquire(max int) int {
 func Release(n int) {
 	if n > 0 {
 		spawned.Add(-int64(n))
+		// Wake one AcquireCtx waiter. The channel is buffered(1), so a
+		// pulse sent between a waiter's failed TryAcquire and its select
+		// is not lost — the select finds it already pending.
+		select {
+		case releasePulse <- struct{}{}:
+		default:
+		}
 	}
+}
+
+// releasePulse carries "tokens were just returned" wakeups to AcquireCtx
+// waiters. Capacity 1: a pending pulse means "re-check the budget", and one
+// pending pulse conveys that as well as many.
+var releasePulse = make(chan struct{}, 1)
+
+// AcquireCtx claims between 1 and max tokens, blocking until at least one is
+// free or ctx is done. It returns the token count (released with Release) or
+// ctx.Err(). Unlike TryAcquire it waits for capacity instead of answering 0,
+// so callers that strongly prefer to fork — the batch pool's first worker,
+// say — need not busy-retry. The one exception is a budget with no capacity
+// at all (a single-worker configuration has Workers()-1 = 0 tokens): waiting
+// could never succeed, so AcquireCtx returns (0, nil) immediately and the
+// caller runs inline, the same degrade-to-serial contract as TryAcquire.
+func AcquireCtx(ctx context.Context, max int) (int, error) {
+	if max <= 0 {
+		return 0, ctx.Err()
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if Workers() <= 1 {
+			return 0, nil
+		}
+		if n := TryAcquire(max); n > 0 {
+			return n, nil
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-releasePulse:
+		}
+	}
+}
+
+// InUse reports the number of spawn-budget tokens currently outstanding.
+// Leak tests assert it returns to zero after cancellations and panics.
+func InUse() int { return int(spawned.Load()) }
+
+// bulkReserve is the headroom TryAcquireBulk leaves for interactive work.
+var bulkReserve atomic.Int64
+
+// SetBulkReserve reserves n spawn-budget tokens for non-bulk callers and
+// returns the previous reservation. The live pricing server reserves a slice
+// of the machine at startup so quote repricing never queues behind a
+// saturating ScenarioSweep.
+func SetBulkReserve(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(bulkReserve.Swap(int64(n)))
 }
 
 // SetWorkers sets the number of workers used by For and Do. n <= 0 restores
@@ -113,6 +236,12 @@ func For(n, grain int, body func(lo, hi int)) {
 	// Static partition into w nearly equal chunks, each >= grain except
 	// possibly the last. Static scheduling is appropriate here: every loop
 	// body in this module is uniform-cost across the index space.
+	//
+	// A panicking chunk (worker or inline) is captured and re-raised after
+	// the join: the wait and the Release defer both still run, so no
+	// goroutine outlives the call and the budget stays paired even on the
+	// panic path.
+	var pe atomic.Pointer[PanicError]
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	for start := chunk; start < n; start += chunk {
@@ -123,13 +252,14 @@ func For(n, grain int, body func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
+			capture(&pe, func() { body(lo, hi) })
 		}(start, end)
 	}
 	// The first chunk runs inline: the calling goroutine is itself one of
 	// the w workers and holds no token for it.
-	body(0, min(chunk, n))
+	capture(&pe, func() { body(0, min(chunk, n)) })
 	wg.Wait()
+	rethrow(&pe)
 }
 
 // Do runs the given functions as a fork-join block: all of them execute (the
@@ -157,16 +287,21 @@ func Do(fns ...func()) {
 		return
 	}
 	defer Release(tokens)
+	var pe atomic.Pointer[PanicError]
 	var wg sync.WaitGroup
 	wg.Add(tokens)
 	for _, fn := range fns[:tokens] {
 		go func(f func()) {
 			defer wg.Done()
-			f()
+			capture(&pe, f)
 		}(fn)
 	}
+	// The inline functions are captured too: a panic in one must not skip
+	// the join while forked siblings still run, and the first panic should
+	// win deterministically regardless of where it happened.
 	for _, fn := range fns[tokens:] {
-		fn()
+		capture(&pe, fn)
 	}
 	wg.Wait()
+	rethrow(&pe)
 }

@@ -47,6 +47,12 @@ func RowSweep(rows int, width func(row int) int, body func(row, lo, hi int)) {
 		return
 	}
 	b := &flagBarrier{n: w, arrive: make([]paddedFlag, w)}
+	// A panicking body is captured (first panic wins) and re-raised after
+	// the join. The panicked worker — and, once the panic is visible, every
+	// other worker — keeps walking the row loop and crossing barriers
+	// without doing work: a worker that simply stopped arriving would
+	// deadlock the flag barrier for everyone else.
+	var pe atomic.Pointer[PanicError]
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for id := 0; id < w; id++ {
@@ -54,6 +60,7 @@ func RowSweep(rows int, width func(row int) int, body func(row, lo, hi int)) {
 			defer wg.Done()
 			gen := uint32(0)
 			for r := 0; r < rows; {
+				skip := pe.Load() != nil
 				n := width(r)
 				if n < serialRowCutoff {
 					// A row this narrow costs less to compute than a
@@ -63,9 +70,10 @@ func RowSweep(rows int, width func(row int) int, body func(row, lo, hi int)) {
 					// meets at a single barrier.
 					next := r
 					for next < rows && width(next) < serialRowCutoff {
-						if id == 0 {
+						if id == 0 && !skip {
 							if m := width(next); m > 0 {
-								body(next, 0, m)
+								capture(&pe, func() { body(next, 0, m) })
+								skip = pe.Load() != nil
 							}
 						}
 						next++
@@ -81,8 +89,8 @@ func RowSweep(rows int, width func(row int) int, body func(row, lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				if lo < hi {
-					body(r, lo, hi)
+				if lo < hi && !skip {
+					capture(&pe, func() { body(r, lo, hi) })
 				}
 				r++
 				gen++
@@ -91,6 +99,7 @@ func RowSweep(rows int, width func(row int) int, body func(row, lo, hi int)) {
 		}(id)
 	}
 	wg.Wait()
+	rethrow(&pe)
 }
 
 // serialRowCutoff is the row width below which a row is cheaper to compute

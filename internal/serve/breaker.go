@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState enumerates the circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy state: solves run normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen means the symbol's solves keep failing: fresh solves are
+	// refused (serve stale / last-good instead) until the backoff expires.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe solve after the backoff; its
+	// outcome closes the breaker or re-opens it with a longer backoff.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "breaker(?)"
+}
+
+// Breaker is a per-symbol circuit breaker over solve outcomes. N consecutive
+// failures trip it open; while open, callers serve degraded (stale /
+// last-good) instead of burning cores on a solve that keeps dying — without
+// it, a contract whose solver panics every time would lead a fresh doomed
+// repricing flight on every quote and turn one bad symbol into a whole-book
+// hot loop. After Backoff, one probe is admitted: success closes the
+// breaker, failure re-opens it with the backoff doubled (capped at
+// MaxBackoff).
+//
+// The zero value is ready to use with the default thresholds. Breaker is
+// safe for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the breaker;
+	// zero selects DefaultBreakerThreshold.
+	Threshold int
+	// Backoff is the initial open interval before a probe is admitted; zero
+	// selects DefaultBreakerBackoff. Each consecutive re-open doubles it, up
+	// to MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; zero selects DefaultBreakerMaxBackoff.
+	MaxBackoff time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int           // consecutive failures while closed
+	wait     time.Duration // current open interval
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	opens    int64
+}
+
+// Default breaker knobs: trip after 3 consecutive failures, first probe
+// after 100ms, backing off to at most 5s between probes.
+const (
+	DefaultBreakerThreshold  = 3
+	DefaultBreakerBackoff    = 100 * time.Millisecond
+	DefaultBreakerMaxBackoff = 5 * time.Second
+)
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return DefaultBreakerThreshold
+}
+
+func (b *Breaker) backoff() time.Duration {
+	if b.Backoff > 0 {
+		return b.Backoff
+	}
+	return DefaultBreakerBackoff
+}
+
+func (b *Breaker) maxBackoff() time.Duration {
+	if b.MaxBackoff > 0 {
+		return b.MaxBackoff
+	}
+	return DefaultBreakerMaxBackoff
+}
+
+// Allow reports whether a fresh solve may run now. In the open state it
+// returns false until the backoff has elapsed, then admits a single caller
+// as the half-open probe (concurrent callers keep getting false until the
+// probe reports). Callers must report the admitted solve's outcome via
+// Success or Failure.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.wait {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Success records a healthy solve outcome: it resets the failure run and,
+// from half-open, closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		b.wait = 0
+	}
+}
+
+// Failure records a failed solve outcome (error, panic, or health-gate
+// rejection) at the given time. It returns true when this failure tripped
+// the breaker open (callers count CircuitOpens on that edge). From
+// half-open, the failed probe re-opens with the backoff doubled.
+func (b *Breaker) Failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails < b.threshold() {
+			return false
+		}
+		b.state = BreakerOpen
+		b.wait = b.backoff()
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.wait = min(b.wait*2, b.maxBackoff())
+		if b.wait == 0 {
+			b.wait = b.backoff()
+		}
+	case BreakerOpen:
+		// A failure reported by a solve that was already in flight when the
+		// breaker opened; keep the existing backoff clock.
+		b.probing = false
+		return false
+	}
+	b.probing = false
+	b.openedAt = now
+	b.fails = 0
+	b.opens++
+	return true
+}
+
+// Blocked reports whether a fresh solve would currently be refused, without
+// consuming the half-open probe slot the way Allow does: true while the
+// breaker is open inside its backoff window, and while a half-open probe is
+// already in flight. Quote paths use it to decide between serving degraded
+// and triggering a repricing flight (where Allow runs for real).
+func (b *Breaker) Blocked(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return now.Sub(b.openedAt) < b.wait
+	case BreakerHalfOpen:
+		return b.probing
+	}
+	return false
+}
+
+// State reports the current state, transitioning open -> observable
+// half-open is NOT performed here (only Allow advances state); use it for
+// monitoring and tests.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports how many times this breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := &Breaker{Threshold: 3, Backoff: 100 * time.Millisecond}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if opened := b.Failure(now); opened {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused a solve after %d failures", i+1)
+		}
+	}
+	if !b.Failure(now) {
+		t.Fatal("third consecutive failure did not open the breaker")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if b.Allow(now.Add(50 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a solve inside the backoff window")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := &Breaker{Threshold: 3}
+	now := time.Unix(1000, 0)
+	b.Failure(now)
+	b.Failure(now)
+	b.Success() // run broken: the count starts over
+	if b.Failure(now) || b.Failure(now) {
+		t.Fatal("breaker opened before a fresh run of 3 failures")
+	}
+	if !b.Failure(now) {
+		t.Fatal("breaker did not open after a fresh run of 3 failures")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := &Breaker{Threshold: 1, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	now := time.Unix(1000, 0)
+	if !b.Failure(now) {
+		t.Fatal("threshold 1 should open on the first failure")
+	}
+
+	// Backoff elapsed: exactly one caller is admitted as the probe.
+	probeTime := now.Add(150 * time.Millisecond)
+	if !b.Allow(probeTime) {
+		t.Fatal("breaker refused the probe after the backoff elapsed")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow(probeTime) {
+		t.Fatal("a second caller was admitted while the probe is in flight")
+	}
+	if !b.Blocked(probeTime) {
+		t.Fatal("Blocked must report true while the probe is in flight")
+	}
+
+	// Failed probe: re-open with the backoff doubled.
+	if !b.Failure(probeTime) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Allow(probeTime.Add(150 * time.Millisecond)) {
+		t.Fatal("re-opened breaker ignored the doubled backoff")
+	}
+	again := probeTime.Add(250 * time.Millisecond)
+	if !b.Allow(again) {
+		t.Fatal("breaker refused the probe after the doubled backoff elapsed")
+	}
+
+	// Successful probe: closed, failure run reset.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after a successful probe, want closed", b.State())
+	}
+	if b.Blocked(again) {
+		t.Fatal("closed breaker reports Blocked")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	b := &Breaker{Threshold: 1, Backoff: 100 * time.Millisecond, MaxBackoff: 300 * time.Millisecond}
+	now := time.Unix(1000, 0)
+	b.Failure(now)
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Hour) // always past any backoff
+		if !b.Allow(now) {
+			t.Fatalf("probe %d refused", i)
+		}
+		b.Failure(now)
+	}
+	// After many doublings the wait must be capped at MaxBackoff.
+	if !b.Allow(now.Add(301 * time.Millisecond)) {
+		t.Fatal("backoff exceeded MaxBackoff")
+	}
+}
+
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	b := &Breaker{}
+	now := time.Unix(1000, 0)
+	if b.Blocked(now) {
+		t.Fatal("zero-value breaker starts blocked")
+	}
+	for i := 0; i < DefaultBreakerThreshold-1; i++ {
+		if b.Failure(now) {
+			t.Fatalf("opened after %d failures, default threshold is %d", i+1, DefaultBreakerThreshold)
+		}
+	}
+	if !b.Failure(now) {
+		t.Fatal("default threshold did not open the breaker")
+	}
+	if b.Allow(now.Add(DefaultBreakerBackoff / 2)) {
+		t.Fatal("default backoff not honored")
+	}
+	if !b.Allow(now.Add(DefaultBreakerBackoff + time.Millisecond)) {
+		t.Fatal("probe refused after the default backoff")
+	}
+}

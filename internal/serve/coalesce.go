@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -10,6 +12,20 @@ import (
 // already has MaxWaiters callers queued behind it, so the new request is shed
 // instead of growing the queue without bound. The HTTP layer maps it to 503.
 var ErrOverloaded = errors.New("serve: too many requests pending on an in-flight repricing")
+
+// PanicError is the flight error produced when a coalesced refresh panics:
+// it carries the panic value and the stack captured at the panic site, so
+// the quarantine record written for a degraded contract is diagnosable. (The
+// error used to stringify the value and drop the stack — by the time anyone
+// read the log, the only evidence of where the solver died was gone.)
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: coalesced refresh panicked: %v", e.Value)
+}
 
 // flight is one in-progress refresh; waiters block on done and read err.
 // waiters is guarded by the owning Coalescer's mu; keeping the count on the
@@ -36,12 +52,28 @@ type Coalescer struct {
 
 	mu  sync.Mutex
 	cur *flight
+
+	// inflight counts live flights (0 or 1) and drained wakes Drain; both
+	// are guarded by mu.
+	inflight int
+	drained  *sync.Cond
 }
 
 // Do runs fn, coalescing with a concurrent in-flight run. It reports whether
 // this caller joined an existing flight (true) or led its own (false), and
 // returns the flight's error.
 func (c *Coalescer) Do(fn func() error) (joined bool, err error) {
+	return c.DoCtx(context.Background(), fn)
+}
+
+// DoCtx is Do with a context. A canceled joiner stops waiting and returns
+// ctx.Err() immediately; the flight itself keeps running for the waiters
+// that remain (it is the leader's — and its own context's — job to stop the
+// work), so one impatient caller never poisons the result everyone else is
+// waiting for. The leader always runs fn to completion from the coalescer's
+// point of view: fn observes cancellation through whatever the caller closed
+// over.
+func (c *Coalescer) DoCtx(ctx context.Context, fn func() error) (joined bool, err error) {
 	c.mu.Lock()
 	if f := c.cur; f != nil {
 		if c.MaxWaiters > 0 && f.waiters >= c.MaxWaiters {
@@ -50,21 +82,27 @@ func (c *Coalescer) Do(fn func() error) (joined bool, err error) {
 		}
 		f.waiters++
 		c.mu.Unlock()
-		<-f.done
-		return true, f.err
+		select {
+		case <-f.done:
+			return true, f.err
+		case <-ctx.Done():
+			return true, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.cur = f
+	c.inflight++
 	c.mu.Unlock()
 
 	func() {
 		// A panic escaping fn must not leave the flight registered and its
 		// done channel unclosed — that would wedge every future caller
 		// behind a flight that will never finish. Convert it to the
-		// flight's error: the leader and every waiter see it and can retry.
+		// flight's error, stack attached: the leader and every waiter see
+		// it and can retry or quarantine.
 		defer func() {
 			if r := recover(); r != nil {
-				f.err = fmt.Errorf("serve: coalesced refresh panicked: %v", r)
+				f.err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
 		f.err = fn()
@@ -72,7 +110,43 @@ func (c *Coalescer) Do(fn func() error) (joined bool, err error) {
 
 	c.mu.Lock()
 	c.cur = nil
+	c.inflight--
+	if c.drained != nil && c.inflight == 0 {
+		c.drained.Broadcast()
+	}
 	c.mu.Unlock()
 	close(f.done)
 	return false, f.err
+}
+
+// Drain blocks until no flight is in progress, or until ctx is done. New
+// flights may still start after Drain returns — callers that want a real
+// quiescent point (graceful shutdown) must stop admitting work first, then
+// Drain.
+func (c *Coalescer) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if c.inflight == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.drained == nil {
+		c.drained = sync.NewCond(&c.mu)
+	}
+	done := make(chan struct{})
+	//amop:allow-go shutdown-path watcher: one goroutine per Drain call, exits when the last flight finishes (broadcast below)
+	go func() {
+		c.mu.Lock()
+		for c.inflight > 0 {
+			c.drained.Wait()
+		}
+		c.mu.Unlock()
+		close(done)
+	}()
+	c.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A canceled joiner stops waiting and reports ctx.Err(); the flight keeps
+// running for everyone else and the coalescer is not poisoned for the next
+// caller.
+func TestCoalescerDoCtxCanceledJoiner(t *testing.T) {
+	var c Coalescer
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(func() error {
+			close(inFlight)
+			<-release
+			return nil
+		})
+		leaderDone <- err
+	}()
+	<-inFlight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	joinerDone := make(chan error, 1)
+	go func() {
+		joined, err := c.DoCtx(ctx, func() error { return nil })
+		if !joined {
+			t.Error("second caller led its own flight instead of joining")
+		}
+		joinerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the joiner park on the flight
+	cancel()
+	select {
+	case err := <-joinerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled joiner: got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled joiner kept waiting on the flight")
+	}
+
+	// The abandoned flight finishes normally for its leader...
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader after a joiner bailed: %v", err)
+	}
+	// ...and the coalescer is clean: the next caller leads a fresh flight.
+	joined, err := c.Do(func() error { return nil })
+	if joined || err != nil {
+		t.Fatalf("after canceled joiner: joined=%v err=%v", joined, err)
+	}
+}
+
+// The panic error must carry the stack captured at the panic site — the
+// quarantine record a degraded contract keeps is useless without it.
+func TestCoalescerPanicErrorCarriesStack(t *testing.T) {
+	var c Coalescer
+	_, err := c.Do(func() error { panicForStackTest(); return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *PanicError", err, err)
+	}
+	if pe.Value != "stack boom" {
+		t.Fatalf("panic value %v, want stack boom", pe.Value)
+	}
+	if !bytes.Contains(pe.Stack, []byte("panicForStackTest")) {
+		t.Fatalf("stack does not contain the panic site:\n%s", pe.Stack)
+	}
+}
+
+func panicForStackTest() { panic("stack boom") }
+
+func TestCoalescerDrain(t *testing.T) {
+	var c Coalescer
+	// No flight: Drain returns immediately.
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(func() error {
+		close(inFlight)
+		<-release
+		return nil
+	})
+	<-inFlight
+
+	// A bounded Drain gives up with ctx.Err while the flight runs.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := c.Drain(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain under a running flight: got %v, want deadline exceeded", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- c.Drain(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not observe the flight finishing")
+	}
+}

@@ -11,6 +11,10 @@ var (
 	coalescedRequests atomic.Int64
 	staleServes       atomic.Int64
 	cacheServes       atomic.Int64
+	panicsRecovered   atomic.Int64
+	degradedServes    atomic.Int64
+	circuitOpens      atomic.Int64
+	ctxCancels        atomic.Int64
 )
 
 // AddTickReprices records contracts a tick marked for repricing (their
@@ -34,6 +38,23 @@ func AddStaleServes(n int64) { staleServes.Add(n) }
 // entry — the serving fast path.
 func AddCacheServes(n int64) { cacheServes.Add(n) }
 
+// AddPanicRecovered records a pricer panic captured and isolated to one
+// contract (by the batch engine's per-item recover or a coalesced flight).
+func AddPanicRecovered() { panicsRecovered.Add(1) }
+
+// AddDegradedServes records quotes answered in degraded mode: a pinned
+// last-good value served because the fresh solve failed the health gate,
+// errored, or its symbol's circuit breaker is open.
+func AddDegradedServes(n int64) { degradedServes.Add(n) }
+
+// AddCircuitOpen records a per-symbol circuit breaker tripping open after
+// consecutive solve failures.
+func AddCircuitOpen() { circuitOpens.Add(1) }
+
+// AddCtxCancel records a solve or batch item abandoned because its context
+// was canceled or its deadline expired.
+func AddCtxCancel() { ctxCancels.Add(1) }
+
 // Stats is a snapshot of the cumulative serving counters.
 type Stats struct {
 	TickReprices      int64
@@ -41,6 +62,10 @@ type Stats struct {
 	CoalescedRequests int64
 	StaleServes       int64
 	CacheServes       int64
+	PanicsRecovered   int64
+	DegradedServes    int64
+	CircuitOpens      int64
+	CtxCancels        int64
 }
 
 // ReadStats returns the current counter snapshot.
@@ -51,5 +76,9 @@ func ReadStats() Stats {
 		CoalescedRequests: coalescedRequests.Load(),
 		StaleServes:       staleServes.Load(),
 		CacheServes:       cacheServes.Load(),
+		PanicsRecovered:   panicsRecovered.Load(),
+		DegradedServes:    degradedServes.Load(),
+		CircuitOpens:      circuitOpens.Load(),
+		CtxCancels:        ctxCancels.Load(),
 	}
 }

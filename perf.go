@@ -71,6 +71,18 @@ type PerfCounters struct {
 	CoalescedRequests int64
 	StaleServes       int64
 	ServeCacheHits    int64
+	// PanicsRecovered counts pricer panics captured and confined to a single
+	// contract (the batch engine's per-item recover, or a coalesced flight's
+	// recover); DegradedServes counts quotes answered from a pinned last-good
+	// price because the fresh solve failed its health gate, errored, or the
+	// symbol's circuit breaker was open; CircuitOpens counts per-symbol
+	// breakers tripping open on consecutive solve failures; CtxCancels counts
+	// solves and batch items abandoned on context cancellation or deadline
+	// expiry. On a healthy serving process all four stay flat.
+	PanicsRecovered int64
+	DegradedServes  int64
+	CircuitOpens    int64
+	CtxCancels      int64
 }
 
 // ReadPerfCounters returns the current counter snapshot.
@@ -96,5 +108,9 @@ func ReadPerfCounters() PerfCounters {
 		CoalescedRequests:    srv.CoalescedRequests,
 		StaleServes:          srv.StaleServes,
 		ServeCacheHits:       srv.CacheServes,
+		PanicsRecovered:      srv.PanicsRecovered,
+		DegradedServes:       srv.DegradedServes,
+		CircuitOpens:         srv.CircuitOpens,
+		CtxCancels:           srv.CtxCancels,
 	}
 }

@@ -21,6 +21,7 @@
 package amop
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -210,6 +211,15 @@ type sweepTask struct {
 // control-variate correction against the full-resolution base; see
 // SweepOptions.ScenarioSteps.
 func ScenarioSweep(reqs []Request, scenarios []Scenario, opts SweepOptions) *Sweep {
+	return ScenarioSweepCtx(context.Background(), reqs, scenarios, opts)
+}
+
+// ScenarioSweepCtx is ScenarioSweep with a context. Sweeps are bulk-class
+// work (see BatchOptions.Interactive): canceling the context fails every
+// task not yet started immediately — cells depending on them carry the
+// context's error — and stops in-flight solves within one trapezoid of
+// work, with the spawn budget fully restored on return.
+func ScenarioSweepCtx(ctx context.Context, reqs []Request, scenarios []Scenario, opts SweepOptions) *Sweep {
 	sw := &Sweep{
 		Scenarios: append([]Scenario(nil), scenarios...),
 		Base:      make([]Result, len(reqs)),
@@ -221,6 +231,7 @@ func ScenarioSweep(reqs []Request, scenarios []Scenario, opts SweepOptions) *Swe
 	}
 	eng := newEngine()
 	eng.memoOff = opts.DisableMemo
+	eng.cancel = ctxCancel(ctx)
 
 	// Plan: fold the (contract, scenario) product into canonical tasks. A
 	// task key is the fully resolved (option, model, config) triple, so
@@ -322,7 +333,7 @@ func ScenarioSweep(reqs []Request, scenarios []Scenario, opts SweepOptions) *Swe
 		}
 	}
 
-	runPool(len(tasks), opts.Workers, func(i int) {
+	runPool(len(tasks), opts.Workers, true, func(i int) {
 		t := tasks[i]
 		res := eng.run(Request{Option: t.o, Model: t.m, Config: t.cfg})
 		t.price, t.err = res.Price, res.Err

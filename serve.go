@@ -25,18 +25,33 @@
 //     whose last solve is fresher than the bound is answered immediately from
 //     the stale surface (StaleServes) instead of blocking on the flight;
 //     MaxStaleness = 0 always blocks until the surface is current.
+//   - fault isolation and graceful degradation: every fresh solve passes a
+//     surface-health gate (finite, non-negative price) before it is
+//     published; a solve that errors, panics, or fails the gate leaves the
+//     contract's last-good price pinned and is served from it with
+//     ServedQuote.Degraded set. A panicking contract is quarantined — pulled
+//     out of repricing flights, its stack kept in a QuarantineRecord — until
+//     a tick moves it to a new cell, so one broken contract cannot take its
+//     symbol's flights down with it. Per-symbol circuit breakers stop
+//     re-solving a symbol whose flights keep failing (N consecutive failures
+//     open the breaker; after a backoff one probe flight is admitted), so a
+//     persistently failing symbol costs a bounded number of doomed solves
+//     instead of one per quote.
 //
-// All four serving counters are process-wide and surface through
+// The serving counters are process-wide and surface through
 // ReadPerfCounters; cmd/amop-serve wraps the server in an HTTP daemon with a
 // /metrics endpoint.
 package amop
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"github.com/nlstencil/amop/internal/par"
 	"github.com/nlstencil/amop/internal/serve"
 )
 
@@ -99,6 +114,15 @@ type ServerOptions struct {
 	// quotes then pay the first solve; by default NewServer returns with the
 	// whole surface priced.
 	ColdStart bool
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// symbol's circuit breaker; zero selects the default
+	// (serve.DefaultBreakerThreshold, 3).
+	BreakerThreshold int
+	// BreakerBackoff is the initial open interval before a breaker admits a
+	// probe flight; each consecutive re-open doubles it up to
+	// BreakerMaxBackoff. Zeros select the defaults (100ms, 5s).
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
 }
 
 // TickResult summarizes one tick's effect on the book.
@@ -115,22 +139,53 @@ type TickResult struct {
 
 // ServedQuote is one answered quote: the price and the exact market point it
 // was solved at (the quantization cell's representative), with its solve time
-// and staleness flag.
+// and freshness flags.
 type ServedQuote struct {
 	Price float64
 	// Market is the representative market point the price was solved at.
 	Market Market
 	// At is when the price was solved.
 	At time.Time
-	// Stale reports that the contract was dirty and the quote was served
-	// from the previous surface under the MaxStaleness bound.
+	// Stale reports that the quote was served from a previous surface entry
+	// rather than a solve at the live market's cell — under the MaxStaleness
+	// bound, after the quoteRounds retry cap, or in degraded mode.
 	Stale bool
+	// Degraded reports that the quote was served from the contract's pinned
+	// last-good price because the fresh solve failed — it errored, panicked
+	// (the contract is quarantined), failed the surface-health gate, or its
+	// symbol's circuit breaker is open. Degraded implies Stale.
+	Degraded bool
+}
+
+// QuarantineRecord describes a contract pulled out of repricing flights
+// after its solver panicked. The quarantine lasts until a tick moves the
+// contract to a new quantization cell (a new pricing problem is worth
+// retrying); while it holds, quotes for the contract are served from its
+// pinned last-good price with Degraded set, or fail with Err if no good
+// price was ever solved.
+type QuarantineRecord struct {
+	// Contract is the book id (the Quote id) of the quarantined contract.
+	Contract int
+	// Symbol is the contract's underlying.
+	Symbol string
+	// At is when the panic was recovered.
+	At time.Time
+	// Err is the recovered panic as an error (a *SolvePanicError).
+	Err error
+	// Stack is the goroutine stack captured at the panic site.
+	Stack []byte
 }
 
 // bookContract is one registered contract plus its surface slot. cur is the
 // quantization cell of the live market; priced is the cell the stored price
 // was solved in. The contract is dirty when they differ (or nothing has been
 // solved yet).
+//
+// valid/price/pricedRep/at always describe the last solve that passed the
+// health gate — the pinned last-good entry degraded serves answer from. A
+// failed solve attempt sets err (and quar, when it panicked) and leaves the
+// last-good fields untouched, so one bad solve can never overwrite a good
+// price with garbage.
 type bookContract struct {
 	entry BookEntry
 
@@ -141,8 +196,14 @@ type bookContract struct {
 	priced    serve.Key
 	pricedRep Market
 	price     float64
-	err       error
 	at        time.Time
+
+	// err is the error of the most recent failed solve attempt for the
+	// current cell (nil after a healthy solve). quar is set when that
+	// failure was a panic; the contract is then excluded from repricing
+	// flights until its cell moves.
+	err  error
+	quar *QuarantineRecord
 }
 
 // Server maintains a live price surface over a contract book. Methods are
@@ -159,6 +220,9 @@ type Server struct {
 	// tick touches only its own symbol's contracts instead of scanning the
 	// whole book under the lock.
 	bySymbol map[string][]int
+	// breakers holds one circuit breaker per symbol (built once in
+	// NewServer; each Breaker has its own lock and is also read outside mu).
+	breakers map[string]*serve.Breaker
 
 	flights serve.Coalescer
 
@@ -190,6 +254,7 @@ func NewServer(book []BookEntry, opts ServerOptions) (*Server, error) {
 		book:         make([]bookContract, len(book)),
 		markets:      make(map[string]Market),
 		bySymbol:     make(map[string][]int),
+		breakers:     make(map[string]*serve.Breaker),
 		now:          time.Now,
 	}
 	s.flights.MaxWaiters = opts.MaxPending
@@ -201,6 +266,11 @@ func NewServer(book []BookEntry, opts ServerOptions) (*Server, error) {
 		if !ok {
 			m = Market{Spot: e.Option.S, Vol: e.Option.V, Rate: e.Option.R}
 			s.markets[e.Symbol] = m
+			s.breakers[e.Symbol] = &serve.Breaker{
+				Threshold:  opts.BreakerThreshold,
+				Backoff:    opts.BreakerBackoff,
+				MaxBackoff: opts.BreakerMaxBackoff,
+			}
 		}
 		c := bookContract{entry: e}
 		c.cur = s.quant.Key(m.Spot, m.Vol, m.Rate)
@@ -208,6 +278,11 @@ func NewServer(book []BookEntry, opts ServerOptions) (*Server, error) {
 		s.book[i] = c
 		s.bySymbol[e.Symbol] = append(s.bySymbol[e.Symbol], i)
 	}
+	// A live server makes interactive quote traffic a distinct class from
+	// bulk analytics: reserve one spawn token that non-interactive batches,
+	// chains and sweeps cannot take, so a machine saturated by a sweep still
+	// has parallelism left for repricing flights (which run Interactive).
+	par.SetBulkReserve(1)
 	if !opts.ColdStart {
 		if err := s.Flush(); err != nil {
 			return nil, err
@@ -231,6 +306,32 @@ func (s *Server) Market(symbol string) (Market, bool) {
 	defer s.mu.Unlock()
 	m, ok := s.markets[symbol]
 	return m, ok
+}
+
+// Quarantined returns the quarantine records of every currently quarantined
+// contract (panicking solves pulled out of repricing flights), in book
+// order. Records drop off as ticks move their contracts to new cells.
+func (s *Server) Quarantined() []QuarantineRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var recs []QuarantineRecord
+	for i := range s.book {
+		if q := s.book[i].quar; q != nil {
+			recs = append(recs, *q)
+		}
+	}
+	return recs
+}
+
+// BreakerState reports a symbol's circuit-breaker state, for monitoring.
+func (s *Server) BreakerState(symbol string) (serve.BreakerState, bool) {
+	s.mu.Lock()
+	b := s.breakers[symbol]
+	s.mu.Unlock()
+	if b == nil {
+		return serve.BreakerClosed, false
+	}
+	return b.State(), true
 }
 
 // Tick ingests a market-data update for one symbol: the symbol's market
@@ -286,6 +387,10 @@ func (s *Server) tick(symbol string, update func(Market) Market) (TickResult, er
 		}
 		c.cur = k
 		c.curRep = rep
+		// A new cell is a new pricing problem: release the quarantine and
+		// clear the stale failure so the next flight retries this contract.
+		c.err = nil
+		c.quar = nil
 		res.Moved++
 	}
 	s.mu.Unlock()
@@ -302,49 +407,102 @@ func (s *Server) tick(symbol string, update func(Market) Market) (TickResult, er
 // MaxStaleness.
 const quoteRounds = 3
 
-// Quote answers one contract from the surface. Clean contracts are served
+// Quote answers one contract from the surface; it is QuoteCtx without a
+// deadline.
+func (s *Server) Quote(id int) (ServedQuote, error) {
+	return s.QuoteCtx(context.Background(), id)
+}
+
+// QuoteCtx answers one contract from the surface. Clean contracts are served
 // directly (the fast path). A dirty contract is either served stale — if its
 // last solve is within MaxStaleness — or resolved through a coalesced
 // repricing flight that re-solves the whole dirty set in one PriceBatch;
-// concurrent quotes share that flight. Quote retries until the contract's
+// concurrent quotes share that flight. QuoteCtx retries until the contract's
 // surface entry matches the live market, so a tick landing mid-flight simply
 // costs one more round — but at most quoteRounds rounds: a market outrunning
 // the solver yields the freshest available price, marked Stale, rather than
-// blocking forever. With a full waiter queue Quote fails fast with
+// blocking forever. With a full waiter queue QuoteCtx fails fast with
 // ErrServerBusy.
-func (s *Server) Quote(id int) (ServedQuote, error) {
+//
+// When the fresh solve cannot be used — it failed the health gate, errored,
+// the contract is quarantined after a panic, or the symbol's circuit breaker
+// is open — the contract's pinned last-good price is served with Degraded
+// set; if no good price was ever solved, the solve's error is returned. A
+// canceled ctx stops the wait and returns ctx.Err(); the shared repricing
+// flight keeps running for the other quotes waiting on it.
+func (s *Server) QuoteCtx(ctx context.Context, id int) (ServedQuote, error) {
 	if id < 0 || id >= len(s.book) {
 		return ServedQuote{}, fmt.Errorf("amop: quote id %d out of range [0, %d)", id, len(s.book))
 	}
 	counted := false
 	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			serve.AddCtxCancel()
+			return ServedQuote{}, err
+		}
 		s.mu.Lock()
 		c := &s.book[id]
-		if c.valid && c.priced == c.cur {
-			q, err := c.served(false)
+		if c.valid && c.priced == c.cur && c.err == nil {
+			q := c.snapshot(false, false)
 			s.mu.Unlock()
 			// Only a first-round serve is the fast path; a quote that ran
 			// or waited on a flight must not inflate the cache-hit rate.
-			if err == nil && round == 0 {
+			if round == 0 {
 				serve.AddCacheServes(1)
 			}
-			return q, err
+			return q, nil
+		}
+		// No fresh solve will run for this contract right now: it is
+		// quarantined, or its symbol's breaker is open (and no probe is
+		// due). Serve the pinned last-good price degraded instead of
+		// queueing on a flight that would skip it.
+		if c.quar != nil || s.breakers[c.entry.Symbol].Blocked(s.now()) {
+			if c.valid {
+				q := c.snapshot(true, true)
+				s.mu.Unlock()
+				serve.AddDegradedServes(1)
+				return q, nil
+			}
+			err := c.err
+			s.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("amop: quote %d: circuit open for symbol %q and no last-good price", id, s.book[id].entry.Symbol)
+			}
+			return ServedQuote{}, err
 		}
 		if c.valid && c.err == nil &&
 			(round >= quoteRounds || (s.maxStaleness > 0 && s.now().Sub(c.at) <= s.maxStaleness)) {
-			q, _ := c.served(true)
+			q := c.snapshot(true, false)
 			s.mu.Unlock()
 			serve.AddStaleServes(1)
 			return q, nil
 		}
-		if c.valid && c.err != nil && round >= quoteRounds {
+		if round >= quoteRounds && c.err != nil {
+			// The retries are spent and the latest solve attempt failed:
+			// degrade onto the last-good price, or surface the failure.
+			if c.valid {
+				q := c.snapshot(true, true)
+				s.mu.Unlock()
+				serve.AddDegradedServes(1)
+				return q, nil
+			}
 			err := c.err
 			s.mu.Unlock()
 			return ServedQuote{}, err
 		}
 		s.mu.Unlock()
-		joined, err := s.flights.Do(s.repriceDirty)
+		joined, err := s.flights.DoCtx(ctx, s.repriceDirty)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				serve.AddCtxCancel()
+			}
+			var pe *serve.PanicError
+			if !joined && errors.As(err, &pe) {
+				// A panic escaped the flight body itself (not a per-item
+				// solver panic — the batch engine confines those); it was
+				// recovered by the coalescer, stack attached.
+				serve.AddPanicRecovered()
+			}
 			return ServedQuote{}, err
 		}
 		if joined && !counted {
@@ -355,25 +513,27 @@ func (s *Server) Quote(id int) (ServedQuote, error) {
 	}
 }
 
-// served snapshots the contract's surface entry; the caller holds s.mu.
-func (c *bookContract) served(stale bool) (ServedQuote, error) {
-	if c.err != nil {
-		return ServedQuote{}, c.err
-	}
-	return ServedQuote{Price: c.price, Market: c.pricedRep, At: c.at, Stale: stale}, nil
+// snapshot copies the contract's pinned surface entry; the caller holds
+// s.mu.
+func (c *bookContract) snapshot(stale, degraded bool) ServedQuote {
+	return ServedQuote{Price: c.price, Market: c.pricedRep, At: c.at, Stale: stale, Degraded: degraded}
 }
 
 // Flush synchronously re-solves every dirty contract, coalescing with any
-// in-flight repricing, and returns once the whole surface matches the live
-// market. Per-contract pricing errors are stored in the surface (and
-// reported by Quote); Flush itself only fails on backpressure.
+// in-flight repricing, and returns once no contract has actionable work
+// left: the whole surface matches the live market, except contracts that are
+// quarantined or gated by an open circuit breaker (those serve degraded
+// until their cell moves or a probe succeeds). Per-contract pricing errors
+// are stored in the surface (and reported by Quote); Flush itself only fails
+// on backpressure.
 func (s *Server) Flush() error {
 	for {
+		now := s.now()
 		s.mu.Lock()
 		dirty := false
 		for i := range s.book {
 			c := &s.book[i]
-			if !c.valid || c.priced != c.cur {
+			if c.actionable(s, now) {
 				dirty = true
 				break
 			}
@@ -388,6 +548,29 @@ func (s *Server) Flush() error {
 	}
 }
 
+// Drain blocks until no repricing flight is in progress, or until ctx is
+// done. It is the graceful-shutdown hook: stop admitting quotes and ticks
+// first, then Drain, and the surface write-backs of in-flight work complete
+// before the process exits.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.flights.Drain(ctx)
+}
+
+// actionable reports whether a repricing flight could make progress on this
+// contract right now: it needs a solve (dirty, or its last attempt failed)
+// and nothing excludes it (quarantine, open breaker). The caller holds
+// s.mu. Flight snapshotting uses Breaker.Allow, never this — Allow is the
+// one that consumes the half-open probe slot.
+func (c *bookContract) actionable(s *Server, now time.Time) bool {
+	if c.valid && c.priced == c.cur && c.err == nil {
+		return false
+	}
+	if c.quar != nil {
+		return false
+	}
+	return !s.breakers[c.entry.Symbol].Blocked(now)
+}
+
 // repriceDirty is the flight body: snapshot the dirty set, solve it as one
 // PriceBatch at the cells' representative market points, write the surface
 // back. The batch shares the engine's dedup plan and lattice-model cache —
@@ -397,7 +580,20 @@ func (s *Server) Flush() error {
 // landing between snapshot and write-back moves cur ahead of the solved key;
 // the write-back then leaves the contract dirty (priced != cur) and the next
 // flight picks it up — stale solves are never published as current.
+//
+// The flight is deliberately not bound to any single caller's context: it is
+// a shared resource whose result every coalesced waiter needs, so one
+// impatient quote abandoning the wait (DoCtx) must not cancel the solve for
+// the rest. The batch runs Interactive — exempt from the bulk spawn reserve —
+// because quote latency is the traffic class the reserve protects.
+//
+// Every result passes the surface-health gate before it is published: an
+// errored, panicked, non-finite or negative price leaves the contract's
+// last-good entry pinned and records the failure instead. Panics quarantine
+// the contract (stack preserved); per-symbol failures feed the symbol's
+// circuit breaker.
 func (s *Server) repriceDirty() error {
+	now := s.now()
 	s.mu.Lock()
 	var (
 		ids  []int
@@ -405,9 +601,25 @@ func (s *Server) repriceDirty() error {
 		reps []Market
 		reqs []Request
 	)
+	// Allow consumes the half-open probe slot, so ask once per symbol per
+	// flight: either the symbol's whole dirty set rides the probe, or none
+	// of it runs.
+	allowed := make(map[string]bool)
 	for i := range s.book {
 		c := &s.book[i]
-		if c.valid && c.priced == c.cur {
+		if c.valid && c.priced == c.cur && c.err == nil {
+			continue
+		}
+		if c.quar != nil {
+			continue
+		}
+		sym := c.entry.Symbol
+		ok, asked := allowed[sym]
+		if !asked {
+			ok = s.breakers[sym].Allow(now)
+			allowed[sym] = ok
+		}
+		if !ok {
 			continue
 		}
 		o := c.entry.Option
@@ -415,26 +627,56 @@ func (s *Server) repriceDirty() error {
 		ids = append(ids, i)
 		keys = append(keys, c.cur)
 		reps = append(reps, c.curRep)
-		reqs = append(reqs, Request{Option: o, Model: c.entry.Model, Config: c.entry.Config})
+		reqs = append(reqs, Request{Option: o, Model: c.entry.Model, Config: c.entry.Config, Tag: sym})
 	}
 	s.mu.Unlock()
 	if len(ids) == 0 {
 		return nil
 	}
-	res := PriceBatch(reqs, BatchOptions{Workers: s.workers})
+	res := PriceBatch(reqs, BatchOptions{Workers: s.workers, Interactive: true})
 	if s.flightBarrier != nil {
 		s.flightBarrier()
 	}
 	at := s.now()
+	symFailed := make(map[string]bool)
 	s.mu.Lock()
 	for j, i := range ids {
 		c := &s.book[i]
-		c.price, c.err = res[j].Price, res[j].Err
+		sym := c.entry.Symbol
+		if _, ok := symFailed[sym]; !ok {
+			symFailed[sym] = false
+		}
+		price, err := res[j].Price, res[j].Err
+		if err == nil && (math.IsNaN(price) || math.IsInf(price, 0) || price < 0) {
+			err = fmt.Errorf("amop: health gate rejected solve for contract %d (symbol %q): price %v is not a finite non-negative value", i, sym, price)
+		}
+		if err != nil {
+			symFailed[sym] = true
+			c.err = err
+			var spe *SolvePanicError
+			if errors.As(err, &spe) {
+				c.quar = &QuarantineRecord{Contract: i, Symbol: sym, At: at, Err: err, Stack: spe.Stack}
+			}
+			continue
+		}
+		c.price = price
+		c.err = nil
+		c.quar = nil
 		c.valid = true
 		c.priced = keys[j]
 		c.pricedRep = reps[j]
 		c.at = at
 	}
 	s.mu.Unlock()
+	for sym, failed := range symFailed {
+		b := s.breakers[sym]
+		if !failed {
+			b.Success()
+			continue
+		}
+		if b.Failure(at) {
+			serve.AddCircuitOpen()
+		}
+	}
 	return nil
 }
