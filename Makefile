@@ -6,7 +6,7 @@ GO ?= go
 # with .github/workflows/ci.yml.
 RACE_PKGS = ./...
 
-.PHONY: ci fmt vet build test race smoke chaos bench fuzz-smoke
+.PHONY: ci fmt vet build test race smoke chaos bench fuzz-smoke xval
 
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt vet build test
@@ -45,15 +45,26 @@ race:
 # its tool): every benchmark runs one iteration, then the in-process
 # regression gates time the radix-4 kernel against radix-2, the SoA
 # split-plane kernel against the complex kernel it replaced as default, the
-# scenario sweep against the naive fan-out, and the live pricing server's
-# serve path (tick skips, request coalescing, cache-serve latency vs cold
-# pricing).
+# scenario sweep against the naive fan-out, the live pricing server's serve
+# path (tick skips, request coalescing, cache-serve latency vs cold
+# pricing), and the analytic tier against the lattice on an in-envelope
+# vanilla chain (>= 10x required).
 smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestRadix4NotSlowerSmoke -v ./internal/fft/
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestSoANotSlowerSmoke -v ./internal/fft/
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestScenarioSweepNotSlowerSmoke -v .
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestServeLoadSmoke -v .
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestAnalyticNotSlowerSmoke -v .
+
+# xval mirrors the CI xval job: the pinned-seed cross-validation soak of the
+# fast lattice pricers against their quadratic baselines and the analytic
+# tier against the Richardson-extrapolated lattice, streaming NDJSON
+# worst-offender lines to xval-report.ndjson.
+xval:
+	$(GO) run ./cmd/amop-xval -trials 100 -maxT 1500 -seed 7 -tol 1e-9 \
+		-analytic-trials 30 -analytic-tol 1e-6 -budget 0 \
+		-report xval-report.ndjson
 
 # chaos mirrors the CI chaos-smoke job: the fault-injected robustness tests
 # (breaker lifecycle, quarantine, canceled flights) under the race detector,

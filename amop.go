@@ -105,6 +105,15 @@ const (
 	// Recursive is the cache-oblivious recursive-tiling sweep (Table 2).
 	// Binomial and trinomial models only.
 	Recursive
+	// Analytic is the spectral-collocation fast path (internal/analytic):
+	// vanilla American options inside its validity envelope are priced from
+	// a cached exercise-boundary solve in microseconds, cross-validated
+	// against the lattice to 1e-6 relative; European requests get the
+	// closed-form Black-Scholes-Merton value. The Model and Config.Steps are
+	// ignored (there is no lattice), and contracts outside the envelope fail
+	// rather than degrade — see TierMode for automatic routing with lattice
+	// fallback.
+	Analytic
 )
 
 // String names the algorithm.
@@ -120,13 +129,17 @@ func (a Algorithm) String() string {
 		return "tiled"
 	case Recursive:
 		return "recursive"
+	case Analytic:
+		return "analytic"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
 // Config controls Price.
 type Config struct {
-	Steps     int       // number of time steps T (required, >= 1)
+	// Steps is the number of time steps T (required, >= 1), except under
+	// Algorithm Analytic, which has no lattice and ignores it.
+	Steps     int
 	Algorithm Algorithm // defaults to Fast
 	European  bool      // drop the early-exercise right
 	// TileW and TileH configure the Tiled algorithm; zero selects
@@ -163,6 +176,11 @@ func PriceCtx(ctx context.Context, o Option, m Model, cfg Config) (float64, erro
 // single model instance and in-flight solves observe cancellation. A nil
 // cache constructs models directly; a nil cancel never cancels.
 func priceModel(o Option, m Model, cfg Config, cache *modelCache, cancel func() error) (float64, error) {
+	if cfg.Algorithm == Analytic {
+		// The analytic tier has no lattice: Model and Steps are irrelevant,
+		// so the Steps >= 1 rule does not apply.
+		return priceAnalytic(o, cfg)
+	}
 	if cfg.Steps < 1 {
 		return 0, fmt.Errorf("amop: Config.Steps = %d must be >= 1", cfg.Steps)
 	}

@@ -81,6 +81,11 @@ type BatchOptions struct {
 	// flights (the live server sets Interactive) keep forking. Leave it
 	// unset for desk analytics.
 	Interactive bool
+	// Tier selects the pricing tier: the zero value (TierLattice) keeps
+	// every request on the stencil lattice; TierAuto promotes eligible
+	// vanilla American contracts to the analytic fast path with silent
+	// lattice fallback; TierAnalytic forces the analytic tier. See TierMode.
+	Tier TierMode
 }
 
 // SolvePanicError is the per-item error produced when a pricer panics. It
@@ -136,6 +141,7 @@ func PriceBatchCtx(ctx context.Context, reqs []Request, opts BatchOptions) []Res
 	eng := newEngine()
 	eng.memoOff = opts.DisableMemo
 	eng.cancel = ctxCancel(ctx)
+	eng.tier = opts.Tier
 	maxSteps := 0
 	for i := range reqs {
 		maxSteps = max(maxSteps, reqs[i].Config.Steps)
@@ -234,6 +240,7 @@ type engine struct {
 	models  modelCache
 	memoOff bool         // set before the pool starts; read-only afterwards
 	cancel  func() error // batch-wide cancellation hook; nil means never
+	tier    TierMode     // tier routing policy; set before the pool starts
 
 	mu   sync.Mutex
 	memo map[priceKey]*priceEntry
@@ -321,11 +328,33 @@ func (e *engine) run(req Request) (res Result) {
 	return Result{Price: p, Err: err}
 }
 
+// dispatch routes one priced point through the engine's tier policy:
+// TierAnalytic forces the analytic tier (envelope refusals surface as
+// errors), TierAuto promotes eligible vanilla American contracts and counts
+// the lattice fallbacks, TierLattice — the zero value — is a straight pass
+// to the lattice solvers. The routing is a pure function of (option, config,
+// tier), so it composes with the engine's memo: one key always takes one
+// route.
+func (e *engine) dispatch(o Option, m Model, cfg Config) (float64, error) {
+	switch e.tier {
+	case TierAnalytic:
+		return priceAnalytic(o, cfg)
+	case TierAuto:
+		if cfg.Algorithm == Fast && !cfg.European {
+			if analyticEligible(o, cfg) {
+				return priceAnalytic(o, cfg)
+			}
+			tierFallbacks.Add(1)
+		}
+	}
+	return priceModel(o, m, cfg, &e.models, e.cancel)
+}
+
 // price is the memoized pricer: identical (option, model, config) requests
 // are priced exactly once; concurrent duplicates wait for the first.
 func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
 	if e.memoOff {
-		return priceModel(o, m, cfg, &e.models, e.cancel)
+		return e.dispatch(o, m, cfg)
 	}
 	k := priceKey{o: o, m: m, cfg: cfg}
 	e.mu.Lock()
@@ -348,7 +377,7 @@ func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
 				ent.err = newSolvePanicError(r)
 			}
 		}()
-		ent.price, ent.err = priceModel(o, m, cfg, &e.models, e.cancel)
+		ent.price, ent.err = e.dispatch(o, m, cfg)
 	})
 	return ent.price, ent.err
 }
@@ -520,6 +549,11 @@ type ChainOptions struct {
 	Workers int
 	// DisableMemo turns off the repricing memo, as in BatchOptions.
 	DisableMemo bool
+	// Tier selects the pricing tier, as in BatchOptions: under TierAuto the
+	// headline prices, the Greeks bumps and the implied-vol iterations of
+	// every in-envelope cell all run on the analytic fast path, which turns
+	// a full chain from seconds of lattice work into microseconds per cell.
+	Tier TierMode
 }
 
 func (o ChainOptions) withDefaults() ChainOptions {
@@ -559,6 +593,7 @@ func ChainCtx(ctx context.Context, underlying Option, strikes, expiries []float6
 	eng := newEngine()
 	eng.memoOff = o.DisableMemo
 	eng.cancel = ctxCancel(ctx)
+	eng.tier = o.Tier
 	eng.prewarm(max(o.Steps, max(o.GreeksSteps, o.IVSteps)))
 	runPool(len(quotes), o.Workers, true, func(idx int) {
 		i, j := idx/len(expiries), idx%len(expiries)

@@ -83,10 +83,15 @@ func main() {
 		brkFails     = flag.Int("breaker-threshold", 0, "consecutive solve failures that open a symbol's circuit breaker (0: default 3)")
 		brkBackoff   = flag.Duration("breaker-backoff", 0, "initial circuit-breaker backoff before a probe solve (0: default 100ms)")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight requests and repricing")
+		tierFlag     = flag.String("tier", "lattice", "pricing tier: lattice (always the stencil lattice), auto (analytic fast path when eligible, lattice fallback), analytic (forced; ineligible contracts error)")
 	)
 	flag.Parse()
 	if *bookPath == "" {
 		fail(fmt.Errorf("-book is required"))
+	}
+	tier, err := cliutil.ParseTier(*tierFlag)
+	if err != nil {
+		fail(err)
 	}
 	rows, entries, err := loadBook(*bookPath, *steps)
 	if err != nil {
@@ -97,6 +102,7 @@ func main() {
 		SpotBucket: *spotBucket, VolBucket: *volBucket, RateBucket: *rateBucket,
 		MaxStaleness: *maxStaleness, MaxPending: *maxPending, Workers: *workers,
 		BreakerThreshold: *brkFails, BreakerBackoff: *brkBackoff,
+		Tier: tier,
 	})
 	if err != nil {
 		fail(err)
@@ -306,6 +312,9 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 			{"amop_serve_degraded_serves_total", c.DegradedServes},
 			{"amop_serve_circuit_opens_total", c.CircuitOpens},
 			{"amop_serve_ctx_cancels_total", c.CtxCancels},
+			{"amop_tier_analytic_serves_total", c.AnalyticServes},
+			{"amop_tier_fallbacks_total", c.TierFallbacks},
+			{"amop_tier_xval_checks_total", c.XvalChecks},
 			{"amop_spectrum_cache_hits_total", c.SpectrumCacheHits},
 			{"amop_spectrum_cache_misses_total", c.SpectrumCacheMisses},
 			{"amop_spectrum_cross_res_hits_total", c.SpectrumCrossResHits},

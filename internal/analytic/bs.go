@@ -1,0 +1,49 @@
+package analytic
+
+import "math"
+
+// Black-Scholes-Merton building blocks shared by the QD+ seed, the boundary
+// fixed point and the premium quadrature. d±(tau, z) follow the convention
+// d±(tau, z) = [ln z + (r - q ± sigma^2/2) tau] / (sigma sqrt(tau)) with z a
+// moneyness ratio, so d+(tau, S/K) is the textbook d1 and d-(tau, S/K) is d2.
+
+func normPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// dpm returns d+ and d- for moneyness z at time-to-expiry tau.
+func (c *contract) dpm(tau, z float64) (dp, dm float64) {
+	sq := c.sigma * math.Sqrt(tau)
+	dp = (math.Log(z) + (c.r-c.q)*tau + 0.5*c.sigma*c.sigma*tau) / sq
+	return dp, dp - sq
+}
+
+// contract is the put-normalized parameter set every internal routine works
+// on: calls enter through the McDonald-Schroder symmetry (spot and strike,
+// rate and yield swapped) before reaching this layer.
+type contract struct {
+	s, k, r, q, sigma, T float64
+}
+
+// europeanPut is the closed-form European put value at spot s and
+// time-to-expiry tau.
+func (c *contract) europeanPut(s, tau float64) float64 {
+	if tau <= 0 {
+		return math.Max(c.k-s, 0)
+	}
+	dp, dm := c.dpm(tau, s/c.k)
+	return c.k*math.Exp(-c.r*tau)*normCDF(-dm) - s*math.Exp(-c.q*tau)*normCDF(-dp)
+}
+
+// europeanPutTheta is the closed-form calendar theta (dV/dt) of the European
+// put, used by the QD+ correction term.
+func (c *contract) europeanPutTheta(s, tau float64) float64 {
+	dp, dm := c.dpm(tau, s/c.k)
+	return -s*math.Exp(-c.q*tau)*normPDF(dp)*c.sigma/(2*math.Sqrt(tau)) +
+		c.r*c.k*math.Exp(-c.r*tau)*normCDF(-dm) -
+		c.q*s*math.Exp(-c.q*tau)*normCDF(-dp)
+}

@@ -1,0 +1,65 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop/internal/option"
+)
+
+// ErrEnvelope marks contracts the analytic tier declines to price: the
+// spectral solve converges and cross-validates against the lattice inside
+// these parameter ranges, and the tier refuses anything outside them rather
+// than return an unvalidated number. Callers dispatch on it with errors.Is
+// and fall back to the lattice.
+var ErrEnvelope = errors.New("outside analytic validity envelope")
+
+// The validity envelope. The bounds are deliberately generous around the
+// cross-validation grid (see cmd/amop-xval) — everything inside has been
+// fuzzed against the extrapolated lattice — while cutting off the regimes
+// where the boundary iteration or the quadratures degrade: near-zero vol or
+// expiry (boundary collapses toward a step), extreme rates (QD+ seed
+// bracketing fails), and extreme moneyness (nothing left to resolve).
+const (
+	envMinVol   = 0.01
+	envMaxVol   = 2.0
+	envMinTau   = 1e-3
+	envMaxTau   = 30.0
+	envMaxRate  = 0.5
+	envMinMoney = 0.05
+	envMaxMoney = 20.0
+
+	// envMaxStiff caps the stiffness ratio 2 max(r, q)/sigma^2. Beyond it
+	// the exercise boundary hugs its limit X so tightly that the damped
+	// fixed point stalls against the X clamp and the premium quadrature
+	// loses the boundary layer — the solve converges but to garbage, which
+	// is exactly what an envelope must keep out.
+	envMaxStiff = 50.0
+)
+
+// Eligible reports whether the contract is inside the analytic tier's
+// validity envelope. A nil return is the tier's promise that Price will
+// produce a value cross-validated against the lattice; every non-nil return
+// except a parameter-validation failure wraps ErrEnvelope.
+func Eligible(p option.Params, kind option.Kind) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.V < envMinVol || p.V > envMaxVol:
+		return fmt.Errorf("analytic: vol %g not in [%g, %g]: %w", p.V, envMinVol, envMaxVol, ErrEnvelope)
+	case p.E < envMinTau || p.E > envMaxTau:
+		return fmt.Errorf("analytic: expiry %g not in [%g, %g]: %w", p.E, envMinTau, envMaxTau, ErrEnvelope)
+	case p.R > envMaxRate:
+		return fmt.Errorf("analytic: rate %g above %g: %w", p.R, envMaxRate, ErrEnvelope)
+	case p.Y > envMaxRate:
+		return fmt.Errorf("analytic: dividend yield %g above %g: %w", p.Y, envMaxRate, ErrEnvelope)
+	case p.S/p.K < envMinMoney || p.S/p.K > envMaxMoney:
+		return fmt.Errorf("analytic: moneyness %g not in [%g, %g]: %w", p.S/p.K, envMinMoney, envMaxMoney, ErrEnvelope)
+	}
+	if stiff := 2 * math.Max(p.R, p.Y) / (p.V * p.V); stiff > envMaxStiff {
+		return fmt.Errorf("analytic: stiffness 2*max(r,q)/sigma^2 = %.3g above %g: %w", stiff, envMaxStiff, ErrEnvelope)
+	}
+	return nil
+}

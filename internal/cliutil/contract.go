@@ -72,10 +72,26 @@ func (c Contract) Request(defaultSteps int) (amop.Request, error) {
 		req.Config.Algorithm = amop.Tiled
 	case "recursive":
 		req.Config.Algorithm = amop.Recursive
+	case "analytic":
+		req.Config.Algorithm = amop.Analytic
 	default:
 		return req, fmt.Errorf("unknown algorithm %q", c.Algorithm)
 	}
 	return req, nil
+}
+
+// ParseTier maps the CLI tier-flag spellings onto amop.TierMode, so every
+// tool that grows a -tier flag accepts exactly the same values.
+func ParseTier(s string) (amop.TierMode, error) {
+	switch strings.ToLower(s) {
+	case "", "lattice":
+		return amop.TierLattice, nil
+	case "auto":
+		return amop.TierAuto, nil
+	case "analytic":
+		return amop.TierAnalytic, nil
+	}
+	return amop.TierLattice, fmt.Errorf("unknown tier %q (want lattice, auto or analytic)", s)
 }
 
 // Set assigns one field by CSV header name.

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/analytic"
+	"github.com/nlstencil/amop/internal/option"
+)
+
+// The analytic-tier experiment measures the spectral-collocation fast path
+// against the stencil lattice it shadows: per-contract accuracy and latency
+// (cold boundary solve vs warm cache hit vs the lattice at production step
+// counts), and the end-to-end batch speedup of TierAuto on an in-envelope
+// vanilla chain. The accuracy column judges the analytic price against the
+// Richardson-extrapolated lattice, the same referee cmd/amop-xval uses.
+
+func init() {
+	register(Experiment{"analytic-tier", "spectral-collocation fast path vs lattice: accuracy and latency", analyticTier})
+}
+
+// analyticContracts is the per-contract measurement set: both kinds across
+// moneyness and expiry, all inside the analytic validity envelope.
+func analyticContracts() []option.Params {
+	var out []option.Params
+	for _, e := range []float64{0.25, 1, 3} {
+		for _, k := range []float64{85, 100, 115} {
+			out = append(out, option.Params{S: 100, K: k, R: 0.045, V: 0.22, Y: 0.015, E: e})
+		}
+	}
+	return out
+}
+
+func analyticTier(cfg Config) ([]*Table, error) {
+	latticeT := min(cfg.MaxT, 4000)
+
+	perContract := &Table{
+		ID:    "analytic-accuracy",
+		Title: "analytic tier vs lattice per contract",
+		Note: fmt.Sprintf("rel-err is against the Richardson-extrapolated lattice 2 L(2n) - L(n) at n=%d (the obstacle projection makes shallow pairs oscillate); lattice-s times the fast stencil at T=%d",
+			8*latticeT, latticeT),
+		Header: []string{"kind", "K", "E", "analytic", "rel-err", "analytic-s", "lattice-s", "speedup"},
+	}
+	for _, kind := range []option.Kind{option.Put, option.Call} {
+		for _, prm := range analyticContracts() {
+			o := amop.Option{Type: amop.OptionType(kind), S: prm.S, K: prm.K, R: prm.R, V: prm.V, Y: prm.Y, E: prm.E}
+			av, err := analytic.Price(prm, kind)
+			if err != nil {
+				return nil, fmt.Errorf("analytic %v %+v: %v", kind, prm, err)
+			}
+			l1, err := amop.PriceAmerican(o, 4*latticeT)
+			if err != nil {
+				return nil, err
+			}
+			l2, err := amop.PriceAmerican(o, 8*latticeT)
+			if err != nil {
+				return nil, err
+			}
+			ref := 2*l2 - l1
+			rel := math.Abs(av-ref) / (1 + math.Max(math.Abs(av), math.Abs(ref)))
+			ta := timeIt(func() { analytic.Price(prm, kind) })       //nolint:errcheck
+			tl := timeIt(func() { amop.PriceAmerican(o, latticeT) }) //nolint:errcheck
+			perContract.Rows = append(perContract.Rows, []string{
+				kind.String(), num(prm.K), num(prm.E), fmt.Sprintf("%.8f", av),
+				fmt.Sprintf("%.2e", rel), secs(ta), secs(tl), ratio(tl, ta),
+			})
+		}
+	}
+
+	// Cold vs warm: the boundary solve is the analytic tier's only expensive
+	// step, and it is cached per (r, q, sigma, T) — a chain of strikes on one
+	// expiry pays it once.
+	prm := option.Params{S: 100, K: 100, R: 0.045, V: 0.22, Y: 0.015, E: 1}
+	hits0, miss0 := analytic.BoundaryCacheStats()
+	coldWarm := &Table{
+		ID:     "analytic-boundary-cache",
+		Title:  "cold boundary solve vs warm cache hit",
+		Header: []string{"phase", "seconds", "boundary-hits", "boundary-misses"},
+	}
+	cold := timeIt(func() {
+		p := prm
+		// Perturb sigma per call so every solve misses the boundary cache.
+		p.V += 1e-9 * float64(analyticMissCounter())
+		analytic.Price(p, option.Put) //nolint:errcheck
+	})
+	hits1, miss1 := analytic.BoundaryCacheStats()
+	warm := timeIt(func() { analytic.Price(prm, option.Put) }) //nolint:errcheck
+	hits2, miss2 := analytic.BoundaryCacheStats()
+	coldWarm.Rows = append(coldWarm.Rows,
+		[]string{"cold", secs(cold), count(uint64(hits1 - hits0)), count(uint64(miss1 - miss0))},
+		[]string{"warm", secs(warm), count(uint64(hits2 - hits1)), count(uint64(miss2 - miss1))},
+		[]string{"cold/warm", ratio(cold, warm), "", ""},
+	)
+
+	// Batch: the same in-envelope vanilla chain through PriceBatch under
+	// TierLattice and TierAuto — the end-to-end number the bench-smoke gate
+	// (TestAnalyticNotSlowerSmoke) enforces at >= 10x.
+	reqs := tierChain(latticeT)
+	check := func(res []amop.Result) error {
+		for i, r := range res {
+			if r.Err != nil {
+				return fmt.Errorf("chain request %d: %v", i, r.Err)
+			}
+		}
+		return nil
+	}
+	// Warm both arms before timing.
+	if err := check(amop.PriceBatch(reqs, amop.BatchOptions{Tier: amop.TierAuto})); err != nil {
+		return nil, err
+	}
+	if err := check(amop.PriceBatch(reqs, amop.BatchOptions{})); err != nil {
+		return nil, err
+	}
+	tAuto := timeIt(func() { amop.PriceBatch(reqs, amop.BatchOptions{Tier: amop.TierAuto}) })
+	tLattice := timeIt(func() { amop.PriceBatch(reqs, amop.BatchOptions{}) })
+	batch := &Table{
+		ID:     "analytic-batch",
+		Title:  fmt.Sprintf("PriceBatch on a %d-contract in-envelope vanilla chain", len(reqs)),
+		Note:   fmt.Sprintf("lattice arm at T=%d; the CI bench-smoke gate requires >= 10x here", latticeT),
+		Header: []string{"tier", "seconds", "speedup"},
+	}
+	batch.Rows = append(batch.Rows,
+		[]string{"lattice", secs(tLattice), ""},
+		[]string{"auto (analytic)", secs(tAuto), ratio(tLattice, tAuto)},
+	)
+
+	return []*Table{perContract, coldWarm, batch}, nil
+}
+
+// tierChain is the batch measurement book: puts and calls across strikes and
+// expiries, every contract eligible for the analytic tier.
+func tierChain(steps int) []amop.Request {
+	var reqs []amop.Request
+	for _, kind := range []amop.OptionType{amop.Put, amop.Call} {
+		for _, k := range []float64{85, 95, 100, 105, 115} {
+			for _, e := range []float64{0.25, 0.5, 1, 2} {
+				reqs = append(reqs, amop.Request{
+					Option: amop.Option{Type: kind, S: 100, K: k, R: 0.045, V: 0.22, Y: 0.015, E: e},
+					Model:  amop.AutoModel,
+					Config: amop.Config{Steps: steps},
+				})
+			}
+		}
+	}
+	return reqs
+}
+
+// analyticMissCounter numbers the cold-phase solves so each one perturbs
+// sigma to a fresh boundary-cache key.
+var analyticMiss int
+
+func analyticMissCounter() int {
+	analyticMiss++
+	return analyticMiss
+}

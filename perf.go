@@ -71,6 +71,17 @@ type PerfCounters struct {
 	CoalescedRequests int64
 	StaleServes       int64
 	ServeCacheHits    int64
+	// AnalyticServes counts prices served by the analytic fast path — forced
+	// through Algorithm Analytic or promoted by TierAuto; TierFallbacks
+	// counts TierAuto candidates that fell back to the lattice (Bermudan
+	// schedules never reach the tier seam, so the usual cause is an
+	// out-of-envelope contract); XvalChecks counts analytic-vs-lattice
+	// cross-validation pairs priced through XvalCheck. On an in-envelope
+	// vanilla book served under TierAuto, AnalyticServes tracks the quote
+	// count and TierFallbacks stays flat.
+	AnalyticServes int64
+	TierFallbacks  int64
+	XvalChecks     int64
 	// PanicsRecovered counts pricer panics captured and confined to a single
 	// contract (the batch engine's per-item recover, or a coalesced flight's
 	// recover); DegradedServes counts quotes answered from a pinned last-good
@@ -90,6 +101,7 @@ func ReadPerfCounters() PerfCounters {
 	hits, misses, bytes, entries := linstencil.SpectrumCacheStats()
 	symHits, symMisses, crossRes := linstencil.SymbolCacheStats()
 	memoHits, memoMisses := RepricingMemoStats()
+	tierAnalytic, tierFall, tierXval := TierStats()
 	srv := serve.ReadStats()
 	return PerfCounters{
 		SpectrumCacheHits:    hits,
@@ -103,6 +115,9 @@ func ReadPerfCounters() PerfCounters {
 		FFTSoATransforms:     fft.SoATransforms(),
 		RepricingMemoHits:    memoHits,
 		RepricingMemoMisses:  memoMisses,
+		AnalyticServes:       tierAnalytic,
+		TierFallbacks:        tierFall,
+		XvalChecks:           tierXval,
 		TickReprices:         srv.TickReprices,
 		TickSkips:            srv.TickSkips,
 		CoalescedRequests:    srv.CoalescedRequests,

@@ -123,6 +123,11 @@ type ServerOptions struct {
 	// BreakerMaxBackoff. Zeros select the defaults (100ms, 5s).
 	BreakerBackoff    time.Duration
 	BreakerMaxBackoff time.Duration
+	// Tier selects the pricing tier for every repricing flight, as in
+	// BatchOptions: TierAuto serves in-envelope vanilla American contracts
+	// from the analytic fast path (ReadPerfCounters.AnalyticServes counts
+	// them) and keeps the rest on the lattice.
+	Tier TierMode
 }
 
 // TickResult summarizes one tick's effect on the book.
@@ -212,6 +217,7 @@ type Server struct {
 	quant        serve.Quantizer
 	maxStaleness time.Duration
 	workers      int
+	tier         TierMode
 
 	mu      sync.Mutex
 	book    []bookContract
@@ -251,6 +257,7 @@ func NewServer(book []BookEntry, opts ServerOptions) (*Server, error) {
 		},
 		maxStaleness: max(opts.MaxStaleness, 0),
 		workers:      opts.Workers,
+		tier:         opts.Tier,
 		book:         make([]bookContract, len(book)),
 		markets:      make(map[string]Market),
 		bySymbol:     make(map[string][]int),
@@ -259,7 +266,10 @@ func NewServer(book []BookEntry, opts ServerOptions) (*Server, error) {
 	}
 	s.flights.MaxWaiters = opts.MaxPending
 	for i, e := range book {
-		if e.Config.Steps < 1 {
+		// Forced-analytic entries have no lattice and need no step count;
+		// everything else prices on a lattice somewhere (even TierAuto falls
+		// back to one), so Steps stays mandatory for them.
+		if e.Config.Steps < 1 && e.Config.Algorithm != Analytic {
 			return nil, fmt.Errorf("amop: book entry %d: Config.Steps = %d must be >= 1", i, e.Config.Steps)
 		}
 		m, ok := s.markets[e.Symbol]
@@ -633,7 +643,7 @@ func (s *Server) repriceDirty() error {
 	if len(ids) == 0 {
 		return nil
 	}
-	res := PriceBatch(reqs, BatchOptions{Workers: s.workers, Interactive: true})
+	res := PriceBatch(reqs, BatchOptions{Workers: s.workers, Interactive: true, Tier: s.tier})
 	if s.flightBarrier != nil {
 		s.flightBarrier()
 	}
