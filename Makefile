@@ -6,7 +6,7 @@ GO ?= go
 # with .github/workflows/ci.yml.
 RACE_PKGS = ./...
 
-.PHONY: ci fmt vet build test race smoke chaos bench fuzz-smoke xval
+.PHONY: ci fmt vet build test race smoke chaos bench fuzz-smoke xval obs-smoke
 
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt vet build test
@@ -47,8 +47,9 @@ race:
 # split-plane kernel against the complex kernel it replaced as default, the
 # scenario sweep against the naive fan-out, the live pricing server's serve
 # path (tick skips, request coalescing, cache-serve latency vs cold
-# pricing), and the analytic tier against the lattice on an in-envelope
-# vanilla chain (>= 10x required).
+# pricing), the analytic tier against the lattice on an in-envelope
+# vanilla chain (>= 10x required), and the telemetry layer's overhead on
+# the cached-quote path (0 allocs, <5% p50).
 smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestRadix4NotSlowerSmoke -v ./internal/fft/
@@ -56,6 +57,18 @@ smoke: vet
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestScenarioSweepNotSlowerSmoke -v .
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestServeLoadSmoke -v .
 	AMOP_BENCH_SMOKE=1 $(GO) test -run TestAnalyticNotSlowerSmoke -v .
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestObsOverheadSmoke -v .
+
+# obs-smoke gates the telemetry layer's price of admission: the cached-quote
+# fast path must stay at 0 allocs/op with telemetry on and within 5% p50 of
+# telemetry off, the project analyzers must pass over internal/obs (its
+# counters are all atomics), and the obs-overhead harness experiment records
+# the measured numbers to BENCH_obs.json.
+obs-smoke:
+	$(GO) run ./cmd/amop-vet ./internal/obs/
+	AMOP_BENCH_SMOKE=1 $(GO) test -run TestObsOverheadSmoke -v .
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) run ./cmd/amop-bench -experiment obs-overhead -json BENCH_obs.json
 
 # xval mirrors the CI xval job: the pinned-seed cross-validation soak of the
 # fast lattice pricers against their quadratic baselines and the analytic

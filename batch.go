@@ -23,6 +23,7 @@ import (
 	"github.com/nlstencil/amop/internal/bsm"
 	"github.com/nlstencil/amop/internal/faultinject"
 	"github.com/nlstencil/amop/internal/fft"
+	"github.com/nlstencil/amop/internal/obs"
 	"github.com/nlstencil/amop/internal/option"
 	"github.com/nlstencil/amop/internal/par"
 	"github.com/nlstencil/amop/internal/serve"
@@ -142,13 +143,14 @@ func PriceBatchCtx(ctx context.Context, reqs []Request, opts BatchOptions) []Res
 	eng.memoOff = opts.DisableMemo
 	eng.cancel = ctxCancel(ctx)
 	eng.tier = opts.Tier
+	eng.trace = obs.FromContext(ctx)
 	maxSteps := 0
 	for i := range reqs {
 		maxSteps = max(maxSteps, reqs[i].Config.Steps)
 	}
 	eng.prewarm(maxSteps)
 	var deliverMu sync.Mutex
-	runPool(len(reqs), opts.Workers, !opts.Interactive, func(i int) {
+	runPool(len(reqs), opts.Workers, !opts.Interactive, eng.trace, func(i int) {
 		r := eng.run(reqs[i])
 		res[i] = r
 		if opts.OnResult != nil {
@@ -174,8 +176,9 @@ func ctxCancel(ctx context.Context) func() error {
 // by the global par spawn budget), pulling indices dynamically so
 // heterogeneous jobs — mixed step counts, mixed algorithms — balance across
 // the pool. The calling goroutine is one of the workers. Bulk pools leave
-// the par.SetBulkReserve headroom untouched.
-func runPool(n, workers int, bulk bool, job func(i int)) {
+// the par.SetBulkReserve headroom untouched. When tr is non-nil the budget
+// acquisition is timed into its budget_wait stage.
+func runPool(n, workers int, bulk bool, tr *obs.Trace, job func(i int)) {
 	w := workers
 	if w <= 0 {
 		w = par.Workers()
@@ -195,10 +198,17 @@ func runPool(n, workers int, bulk bool, job func(i int)) {
 	}
 	spawn := 0
 	if w > 1 {
+		var budgetStart time.Time
+		if tr != nil {
+			budgetStart = time.Now()
+		}
 		if bulk {
 			spawn = par.TryAcquireBulk(w - 1)
 		} else {
 			spawn = par.TryAcquire(w - 1)
+		}
+		if tr != nil {
+			tr.AddSince(obs.StageBudgetWait, budgetStart)
 		}
 	}
 	// Release via defer: a panic escaping the inline worker (e.g. from a
@@ -241,6 +251,7 @@ type engine struct {
 	memoOff bool         // set before the pool starts; read-only afterwards
 	cancel  func() error // batch-wide cancellation hook; nil means never
 	tier    TierMode     // tier routing policy; set before the pool starts
+	trace   *obs.Trace   // span trace from the batch context; nil when untraced
 
 	mu   sync.Mutex
 	memo map[priceKey]*priceEntry
@@ -338,16 +349,48 @@ func (e *engine) run(req Request) (res Result) {
 func (e *engine) dispatch(o Option, m Model, cfg Config) (float64, error) {
 	switch e.tier {
 	case TierAnalytic:
-		return priceAnalytic(o, cfg)
+		return e.analytic(o, cfg)
 	case TierAuto:
 		if cfg.Algorithm == Fast && !cfg.European {
-			if analyticEligible(o, cfg) {
-				return priceAnalytic(o, cfg)
+			var tierStart time.Time
+			if e.trace != nil {
+				tierStart = time.Now()
+			}
+			eligible := analyticEligible(o, cfg)
+			if e.trace != nil {
+				e.trace.AddSince(obs.StageTier, tierStart)
+			}
+			if eligible {
+				return e.analytic(o, cfg)
 			}
 			tierFallbacks.Add(1)
+			if obs.Enabled() {
+				obs.RecordEvent(obs.EvTierFallback, "", 0, "auto tier fell back to lattice")
+			}
 		}
 	}
-	return priceModel(o, m, cfg, &e.models, e.cancel)
+	if !obs.Enabled() {
+		return priceModel(o, m, cfg, &e.models, e.cancel)
+	}
+	start := time.Now()
+	p, err := priceModel(o, m, cfg, &e.models, e.cancel)
+	obs.SolveLatency.With("lattice").RecordSince(start)
+	e.trace.AddSince(obs.StageSolveLattice, start)
+	return p, err
+}
+
+// analytic routes one request to the analytic tier, timing the solve into the
+// batch trace when one is attached. The tier-labelled solve-latency histogram
+// (analytic_cold vs analytic_warm) is recorded inside internal/analytic,
+// which knows whether the boundary solve hit its cache.
+func (e *engine) analytic(o Option, cfg Config) (float64, error) {
+	if e.trace == nil {
+		return priceAnalytic(o, cfg)
+	}
+	start := time.Now()
+	p, err := priceAnalytic(o, cfg)
+	e.trace.AddSince(obs.StageSolveAnalytic, start)
+	return p, err
 }
 
 // price is the memoized pricer: identical (option, model, config) requests
@@ -355,6 +398,10 @@ func (e *engine) dispatch(o Option, m Model, cfg Config) (float64, error) {
 func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
 	if e.memoOff {
 		return e.dispatch(o, m, cfg)
+	}
+	var memoStart time.Time
+	if e.trace != nil {
+		memoStart = time.Now()
 	}
 	k := priceKey{o: o, m: m, cfg: cfg}
 	e.mu.Lock()
@@ -367,6 +414,9 @@ func (e *engine) price(o Option, m Model, cfg Config) (float64, error) {
 		repricingMemoHits.Add(1)
 	}
 	e.mu.Unlock()
+	if e.trace != nil {
+		e.trace.AddSince(obs.StageMemo, memoStart)
+	}
 	ent.once.Do(func() {
 		// Capture panics here, inside the Once, not just in run: the Once
 		// is consumed even when its function panics, so a later duplicate
@@ -594,8 +644,9 @@ func ChainCtx(ctx context.Context, underlying Option, strikes, expiries []float6
 	eng.memoOff = o.DisableMemo
 	eng.cancel = ctxCancel(ctx)
 	eng.tier = o.Tier
+	eng.trace = obs.FromContext(ctx)
 	eng.prewarm(max(o.Steps, max(o.GreeksSteps, o.IVSteps)))
-	runPool(len(quotes), o.Workers, true, func(idx int) {
+	runPool(len(quotes), o.Workers, true, eng.trace, func(idx int) {
 		i, j := idx/len(expiries), idx%len(expiries)
 		quotes[idx] = eng.quote(underlying, strikes[i], expiries[j], o)
 	})

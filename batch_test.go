@@ -118,7 +118,7 @@ func TestBatchEngineMemoAndModelCache(t *testing.T) {
 // The pool must stay bounded at the requested width even with many jobs.
 func TestRunPoolBoundedWorkers(t *testing.T) {
 	var live, peak atomic.Int64
-	runPool(64, 3, false, func(i int) {
+	runPool(64, 3, false, nil, func(i int) {
 		n := live.Add(1)
 		for {
 			p := peak.Load()

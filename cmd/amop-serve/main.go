@@ -20,7 +20,11 @@
 //
 // Endpoints:
 //
-//	GET  /healthz           liveness + book size
+//	GET  /healthz           liveness + book size (process is up; nothing more)
+//	GET  /readyz            readiness JSON: open breakers, quarantined
+//	                        contracts, degraded symbols per symbol — 503 when
+//	                        not ready, for load balancers and the sharding
+//	                        router
 //	POST /tick              {"symbol":"AAA","spot":128.1,"vol":0.22,"rate":0.002}
 //	                        omitted fields keep their current value; the
 //	                        response reports how many contracts the tick
@@ -29,11 +33,24 @@
 //	                        point it was solved at, its age, staleness and
 //	                        degradation flags
 //	GET  /quotes            the whole surface
-//	GET  /metrics           Prometheus text: serving counters (tick
-//	                        reprices/skips, coalesced requests, stale, cache
-//	                        and degraded serves, recovered panics, circuit
-//	                        opens, context cancels) plus the fast-path cache
-//	                        counters
+//	GET  /metrics           Prometheus text: every PerfCounters field (via
+//	                        its prom struct tags) plus the telemetry layer's
+//	                        latency histograms — quote latency per symbol,
+//	                        solve latency per tier, coalescer and budget
+//	                        waits, staleness age — as quantile summaries
+//	GET  /debug/slow        slow-solve traces (NDJSON): per-stage timings of
+//	                        every repricing flight over -slow-threshold
+//	GET  /debug/traces      the bounded ring of recent flight traces (NDJSON)
+//	GET  /debug/events      the flight recorder (NDJSON): ticks, reprices,
+//	                        breaker transitions, quarantines, degraded
+//	                        serves, tier fallbacks, slow solves
+//
+// With -debug-addr a second HTTP server exposes net/http/pprof (and the same
+// /debug endpoints) on a separate listener, so profilers never share a port
+// with quote traffic. -access-log writes one NDJSON line per request, with
+// request ids minted (or propagated) and echoed as X-Amop-Request-Id.
+// SIGQUIT dumps the flight recorder to stderr without stopping the daemon;
+// shutdown dumps it alongside the full counter snapshot.
 //
 // Quotes for contracts whose market moved block on a coalesced re-solve
 // unless the surface entry is younger than -max-staleness, in which case the
@@ -57,8 +74,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux (the -debug-addr server)
 	"os"
 	"os/signal"
 	"strconv"
@@ -67,6 +86,7 @@ import (
 
 	"github.com/nlstencil/amop"
 	"github.com/nlstencil/amop/internal/cliutil"
+	"github.com/nlstencil/amop/internal/obs"
 )
 
 func main() {
@@ -84,6 +104,9 @@ func main() {
 		brkBackoff   = flag.Duration("breaker-backoff", 0, "initial circuit-breaker backoff before a probe solve (0: default 100ms)")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight requests and repricing")
 		tierFlag     = flag.String("tier", "lattice", "pricing tier: lattice (always the stencil lattice), auto (analytic fast path when eligible, lattice fallback), analytic (forced; ineligible contracts error)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and the /debug telemetry endpoints on this separate address (empty: disabled)")
+		slowThresh   = flag.Duration("slow-threshold", 0, "capture a repricing flight's per-stage trace at /debug/slow when it runs at least this long (0: default 100ms)")
+		accessPath   = flag.String("access-log", "", "write an NDJSON access log to this file (\"-\": stderr; empty: request ids only, no log)")
 	)
 	flag.Parse()
 	if *bookPath == "" {
@@ -109,13 +132,63 @@ func main() {
 	}
 	log.Printf("amop-serve: priced %d contracts in %v; listening on %s",
 		s.Contracts(), time.Since(start).Round(time.Millisecond), *addr)
+	if *slowThresh > 0 {
+		obs.SetSlowThreshold(*slowThresh)
+	}
+	obs.RecordEvent(obs.EvServerStart, "", int64(s.Contracts()), *addr)
+
+	var accessOut io.Writer
+	switch *accessPath {
+	case "":
+	case "-":
+		accessOut = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(fmt.Errorf("opening access log: %w", err))
+		}
+		defer f.Close()
+		accessOut = f
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: newMux(s, rows)}
+	srv := &http.Server{Addr: *addr, Handler: obs.AccessLog(newMux(s, rows), accessOut)}
 	errc := make(chan error, 1)
 	//amop:allow-go HTTP accept loop: one goroutine for the daemon's lifetime, joined through errc on ListenAndServe's return
 	go func() { errc <- srv.ListenAndServe() }()
+
+	if *debugAddr != "" {
+		// The pprof import registered its handlers on DefaultServeMux; the
+		// quote mux above is its own ServeMux, so profiling stays off the
+		// serving port. The telemetry endpoints ride along for tooling that
+		// only reaches the debug listener.
+		http.Handle("/debug/slow", obs.SlowHandler())
+		http.Handle("/debug/traces", obs.TracesHandler())
+		http.Handle("/debug/events", obs.EventsHandler())
+		dbg := &http.Server{Addr: *debugAddr}
+		//amop:allow-go pprof listener: one goroutine for the daemon's lifetime; errors are logged, not joined — losing pprof must not kill serving
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("amop-serve: debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Printf("amop-serve: pprof and /debug telemetry on %s", *debugAddr)
+	}
+
+	// SIGQUIT dumps the flight recorder without stopping the daemon — the
+	// classic "what just happened" signal. Installing the handler replaces
+	// the Go runtime's stack-dump-and-die default for SIGQUIT.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	//amop:allow-go signal pump: one goroutine for the daemon's lifetime, exits with the process
+	go func() {
+		for range quit {
+			log.Printf("amop-serve: SIGQUIT: dumping flight recorder")
+			obs.WriteEventsNDJSON(os.Stderr)
+		}
+	}()
 
 	select {
 	case err := <-errc:
@@ -135,10 +208,16 @@ func main() {
 	if err := s.Drain(sctx); err != nil {
 		log.Printf("amop-serve: flight drain: %v", err)
 	}
+	obs.RecordEvent(obs.EvServerStop, "", 0, "")
+	// The final snapshot is the same tagged PerfCounters struct /metrics
+	// serves — JSON here, Prometheus text there, one field set by
+	// construction (TestMetricsExportAllPerfCounters pins the tags).
 	c := amop.ReadPerfCounters()
-	log.Printf("amop-serve: final counters: cache_hits=%d stale_serves=%d coalesced=%d degraded_serves=%d panics_recovered=%d circuit_opens=%d ctx_cancels=%d",
-		c.ServeCacheHits, c.StaleServes, c.CoalescedRequests, c.DegradedServes,
-		c.PanicsRecovered, c.CircuitOpens, c.CtxCancels)
+	if blob, err := json.Marshal(c); err == nil {
+		log.Printf("amop-serve: final counters: %s", blob)
+	}
+	log.Printf("amop-serve: flight recorder at shutdown:")
+	obs.WriteEventsNDJSON(os.Stderr)
 }
 
 // loadBook reads the -book file: a JSON array of contracts in the shared
@@ -215,9 +294,26 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 		writeJSON(w, status, map[string]string{"error": err.Error()})
 	}
 
+	// /healthz is pure liveness — the process is up and holds a book. The
+	// serving-health detail lives on /readyz so orchestrators can probe the
+	// two separately: restart on a dead /healthz, shed traffic on a 503
+	// /readyz.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "contracts": s.Contracts()})
 	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		status := http.StatusOK
+		if !h.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+
+	mux.Handle("/debug/slow", obs.SlowHandler())
+	mux.Handle("/debug/traces", obs.TracesHandler())
+	mux.Handle("/debug/events", obs.EventsHandler())
 
 	mux.HandleFunc("/tick", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -297,32 +393,13 @@ func newMux(s *amop.Server, rows []cliutil.Contract) *http.ServeMux {
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		c := amop.ReadPerfCounters()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		for _, m := range []struct {
-			name string
-			v    int64
-		}{
-			{"amop_serve_tick_reprices_total", c.TickReprices},
-			{"amop_serve_tick_skips_total", c.TickSkips},
-			{"amop_serve_coalesced_requests_total", c.CoalescedRequests},
-			{"amop_serve_stale_serves_total", c.StaleServes},
-			{"amop_serve_cache_hits_total", c.ServeCacheHits},
-			{"amop_serve_panics_recovered_total", c.PanicsRecovered},
-			{"amop_serve_degraded_serves_total", c.DegradedServes},
-			{"amop_serve_circuit_opens_total", c.CircuitOpens},
-			{"amop_serve_ctx_cancels_total", c.CtxCancels},
-			{"amop_tier_analytic_serves_total", c.AnalyticServes},
-			{"amop_tier_fallbacks_total", c.TierFallbacks},
-			{"amop_tier_xval_checks_total", c.XvalChecks},
-			{"amop_spectrum_cache_hits_total", c.SpectrumCacheHits},
-			{"amop_spectrum_cache_misses_total", c.SpectrumCacheMisses},
-			{"amop_spectrum_cross_res_hits_total", c.SpectrumCrossResHits},
-			{"amop_repricing_memo_hits_total", c.RepricingMemoHits},
-			{"amop_fft_bytes_transformed_total", c.FFTBytesTransformed},
-		} {
-			fmt.Fprintf(w, "%s %d\n", m.name, m.v)
-		}
+		// Every PerfCounters field, by reflection over the prom tags, then
+		// the telemetry layer's latency histograms (quote latency per
+		// symbol, solve latency per tier, waits, staleness) as quantile
+		// summaries.
+		amop.ReadPerfCounters().WriteProm(w)
+		obs.WriteProm(w)
 	})
 
 	return mux

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/nlstencil/amop"
+	"github.com/nlstencil/amop/internal/obs"
+)
+
+// Every PerfCounters field must carry a prom tag and show up on /metrics:
+// this is the reflection gate that keeps the exporter exhaustive when a
+// counter is added.
+func TestMetricsExportAllPerfCounters(t *testing.T) {
+	ts := startTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+
+	typ := reflect.TypeOf(amop.PerfCounters{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		name := f.Tag.Get("prom")
+		if name == "" {
+			t.Errorf("PerfCounters.%s has no prom tag — it would silently vanish from /metrics", f.Name)
+			continue
+		}
+		if !strings.Contains(metrics, name+" ") {
+			t.Errorf("/metrics missing %s (PerfCounters.%s)", name, f.Name)
+		}
+	}
+}
+
+// /metrics must also carry the telemetry layer's latency histograms, with
+// per-symbol and per-tier labels, once quotes have flowed.
+func TestMetricsLatencyHistograms(t *testing.T) {
+	obs.Reset()
+	ts := startTestServer(t)
+	// Quote latency is sampled one serve in 512 (keyed off the global
+	// cache-serve counter), so drive enough cached serves that the counter
+	// must cross a sampling tick no matter where it started.
+	for i := 0; i < 1030; i++ {
+		getJSON(t, ts.URL+"/quote?id=0", http.StatusOK, nil)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	metrics := string(body)
+	for _, want := range []string{
+		`amop_quote_latency_seconds{symbol="AAA",quantile="0.5"}`,
+		`amop_quote_latency_seconds_count{symbol="AAA"}`,
+		`amop_solve_latency_seconds{tier="lattice",quantile="0.99"}`,
+		`amop_staleness_age_seconds_count`,
+		`amop_fft_evolve_seconds_count`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// /healthz stays pure liveness; /readyz reports the serving-health JSON the
+// sharding router consumes.
+func TestReadyz(t *testing.T) {
+	ts := startTestServer(t)
+	var h amop.ServerHealth
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &h)
+	if !h.Ready || len(h.OpenBreakers) != 0 || h.QuarantinedContracts != 0 {
+		t.Fatalf("healthy server not ready: %+v", h)
+	}
+	if len(h.Symbols) != 2 { // AAA (2 contracts) and BBB (1)
+		t.Fatalf("readyz symbols = %+v", h.Symbols)
+	}
+	for _, sh := range h.Symbols {
+		if sh.Breaker != "closed" {
+			t.Fatalf("symbol %s breaker %q, want closed", sh.Symbol, sh.Breaker)
+		}
+	}
+	if h.Symbols[0].Symbol != "AAA" || h.Symbols[0].Contracts != 2 {
+		t.Fatalf("readyz per-symbol breakdown: %+v", h.Symbols)
+	}
+}
+
+// A repricing flight must leave a trace at /debug/traces, events in the
+// flight recorder, and — when it crosses the slow threshold — a per-stage
+// breakdown at /debug/slow.
+func TestDebugEndpointsCaptureFlight(t *testing.T) {
+	obs.Reset()
+	prev := obs.SetSlowThreshold(0) // every flight is "slow"
+	defer obs.SetSlowThreshold(prev)
+
+	ts := startTestServer(t)
+	postJSON(t, ts.URL+"/tick", `{"symbol":"AAA","spot":131.0}`, http.StatusOK, nil)
+	getJSON(t, ts.URL+"/quote?id=0", http.StatusOK, nil) // leads the repricing flight
+
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("%s Content-Type = %q", path, ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	slow := get("/debug/slow")
+	if !strings.Contains(slow, `"kind":"flight"`) || !strings.Contains(slow, `"label":"AAA"`) {
+		t.Fatalf("/debug/slow missing the flight trace: %q", slow)
+	}
+	for _, stage := range []string{"snapshot", "solve_lattice", "publish"} {
+		if !strings.Contains(slow, `"stage":"`+stage+`"`) {
+			t.Errorf("/debug/slow trace missing stage %q: %s", stage, slow)
+		}
+	}
+	if traces := get("/debug/traces"); !strings.Contains(traces, `"kind":"flight"`) {
+		t.Fatalf("/debug/traces empty after a flight: %q", traces)
+	}
+	events := get("/debug/events")
+	for _, kind := range []string{`"kind":"tick"`, `"kind":"reprice"`, `"kind":"slow_solve"`} {
+		if !strings.Contains(events, kind) {
+			t.Errorf("/debug/events missing %s:\n%s", kind, events)
+		}
+	}
+}
+
+// The daemon's handler stack echoes request ids end to end.
+func TestRequestIDEcho(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "book.json")
+	if err := os.WriteFile(path, []byte(testBook), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, entries, err := loadBook(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := amop.NewServer(entries, amop.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged strings.Builder
+	ts := httptest.NewServer(obs.AccessLog(newMux(s, rows), &logged))
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/quote?id=1", nil)
+	req.Header.Set(obs.RequestIDHeader, "client-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "client-abc" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+	if !strings.Contains(logged.String(), `"id":"client-abc"`) {
+		t.Fatalf("access log missing the request id: %q", logged.String())
+	}
+}

@@ -38,7 +38,7 @@ func TestBoundaryMonotone(t *testing.T) {
 			continue
 		}
 		c, _ := normalize(p, option.Put)
-		b := boundaryFor(&c)
+		b, _ := boundaryFor(&c)
 		prev := b.Value(0)
 		if math.Abs(prev-b.X) > 1e-12 {
 			t.Fatalf("trial %d: B(0)=%g != X=%g", trial, prev, b.X)

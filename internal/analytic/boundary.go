@@ -230,15 +230,19 @@ var (
 
 // boundaryFor returns the shared boundary for the normalized contract,
 // solving it outside any lock on a miss (concurrent misses may both solve;
-// the first store wins and the loser adopts it).
-func boundaryFor(c *contract) *Boundary {
+// the first store wins and the loser adopts it). cold reports whether this
+// call paid for a boundary solve — the cold/warm split the tier-labelled
+// solve-latency histograms key on — and is true even for a losing concurrent
+// solver: the caller experienced cold-path latency regardless of whose
+// boundary was kept.
+func boundaryFor(c *contract) (b *Boundary, cold bool) {
 	key := boundaryKey{c.r, c.q, c.sigma, c.T}
 	bMu.RLock()
-	b := bCache[key]
+	b = bCache[key]
 	bMu.RUnlock()
 	if b != nil {
 		bHits.Add(1)
-		return b
+		return b, false
 	}
 	bMiss.Add(1)
 	fresh := solveBoundary(c, nodesFor(c))
@@ -252,7 +256,7 @@ func boundaryFor(c *contract) *Boundary {
 		bCache[key] = fresh
 	}
 	bMu.Unlock()
-	return fresh
+	return fresh, true
 }
 
 // BoundaryCacheStats reports the boundary cache's cumulative hit and miss

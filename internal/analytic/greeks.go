@@ -81,7 +81,7 @@ func putGreeks(c *contract, bumpQ bool) normGreeks {
 	if c.r == 0 {
 		return europeanPutGreeks(c, bumpQ)
 	}
-	b := boundaryFor(c)
+	b, _ := boundaryFor(c)
 	if c.s <= b.Value(c.T) {
 		// Exercised immediately: V = K - S identically in every parameter.
 		return normGreeks{v: c.k - c.s, delta: -1}
@@ -105,7 +105,9 @@ func putGreeks(c *contract, bumpQ bool) normGreeks {
 	up, dn := *c, *c
 	up.sigma += bumpVol
 	dn.sigma -= bumpVol
-	g.vega = (putValue(&up) - putValue(&dn)) / (2 * bumpVol)
+	vu, _ := putValue(&up)
+	vd, _ := putValue(&dn)
+	g.vega = (vu - vd) / (2 * bumpVol)
 
 	// The rate bumps fall back to a forward difference when the central stencil
 	// would cross zero: a negative rate flips the boundary-limit formula
@@ -120,10 +122,12 @@ func putGreeks(c *contract, bumpQ bool) normGreeks {
 		up.r += bumpRate
 		dn.r -= bumpRate
 	}
+	vu, _ = putValue(&up)
 	if rate < 2*bumpRate {
-		g.rate = (putValue(&up) - g.v) / bumpRate
+		g.rate = (vu - g.v) / bumpRate
 	} else {
-		g.rate = (putValue(&up) - putValue(&dn)) / (2 * bumpRate)
+		vd, _ = putValue(&dn)
+		g.rate = (vu - vd) / (2 * bumpRate)
 	}
 	return g
 }

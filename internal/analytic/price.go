@@ -19,7 +19,9 @@ package analytic
 
 import (
 	"math"
+	"time"
 
+	"github.com/nlstencil/amop/internal/obs"
 	"github.com/nlstencil/amop/internal/option"
 )
 
@@ -40,31 +42,62 @@ func normalize(p option.Params, kind option.Kind) (c contract, scale float64) {
 }
 
 // Price returns the American option value, or an error when the contract is
-// outside the analytic validity envelope.
+// outside the analytic validity envelope. With telemetry enabled the solve is
+// recorded into the tier-labelled latency histogram, split analytic_cold vs
+// analytic_warm by whether the exercise-boundary solve hit its cache.
 func Price(p option.Params, kind option.Kind) (float64, error) {
 	if err := Eligible(p, kind); err != nil {
 		return 0, err
 	}
 	c, scale := normalize(p, kind)
-	return scale * putValue(&c), nil
+	if !obs.Enabled() {
+		v, _ := putValue(&c)
+		return scale * v, nil
+	}
+	start := time.Now()
+	v, cold := putValue(&c)
+	tier := "analytic_warm"
+	if cold {
+		tier = "analytic_cold"
+	}
+	obs.SolveLatency.With(tier).RecordSince(start)
+	return scale * v, nil
 }
 
-// putValue prices the normalized American put.
-func putValue(c *contract) float64 {
+// putValue prices the normalized American put. cold reports whether the
+// exercise-boundary solve missed its cache (see boundaryFor). When a span
+// trace is active the boundary solve and the premium quadrature are timed
+// into their stages.
+func putValue(c *contract) (v float64, cold bool) {
 	if c.r == 0 {
 		// With no interest to earn on the strike, early exercise is never
 		// optimal and the American put collapses to the European.
-		return c.europeanPut(c.s, c.T)
+		return c.europeanPut(c.s, c.T), false
 	}
-	b := boundaryFor(c)
+	tr := obs.Active()
+	var stageStart time.Time
+	if tr != nil {
+		stageStart = time.Now()
+	}
+	var b *Boundary
+	b, cold = boundaryFor(c)
+	if tr != nil {
+		tr.AddSince(obs.StageBoundarySolve, stageStart)
+	}
 	if c.s <= b.Value(c.T) {
-		return c.k - c.s // in the exercise region the value is intrinsic
+		return c.k - c.s, cold // in the exercise region the value is intrinsic
 	}
-	v := c.europeanPut(c.s, c.T) + premium(c, b, c.s)
+	if tr != nil {
+		stageStart = time.Now()
+	}
+	v = c.europeanPut(c.s, c.T) + premium(c, b, c.s)
+	if tr != nil {
+		tr.AddSince(obs.StageQuadrature, stageStart)
+	}
 	if intr := c.k - c.s; v < intr {
 		v = intr
 	}
-	return v
+	return v, cold
 }
 
 // premium evaluates Kim's early-exercise premium at spot s against a frozen

@@ -3,11 +3,13 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/nlstencil/amop"
 	"github.com/nlstencil/amop/internal/faultinject"
+	"github.com/nlstencil/amop/internal/obs"
 	"github.com/nlstencil/amop/internal/par"
 )
 
@@ -81,6 +83,14 @@ func serveChaos(cfg Config) ([]*Table, error) {
 	faultinject.Inject(faultinject.Rule{Kind: faultinject.SolvePanic, Match: chaosPanicSym})
 	faultinject.Inject(faultinject.Rule{Kind: faultinject.SolveDelay, Match: chaosSlowSym, Delay: delay})
 	faultinject.Enable()
+
+	// Arm the slow-solve tripwire at half the injected delay: every
+	// CHAOS-SLOW repricing flight must cross it and land in the slow-trace
+	// ring with its per-stage breakdown — the same capture /debug/slow
+	// serves on a live daemon.
+	obs.Reset()
+	prevThresh := obs.SetSlowThreshold(delay / 2)
+	defer obs.SetSlowThreshold(prevThresh)
 
 	type symStats struct {
 		quotes, degraded, stale int
@@ -169,6 +179,19 @@ func serveChaos(cfg Config) ([]*Table, error) {
 		return nil, fmt.Errorf("spawn budget leak: %d tokens still held after the replay", leaked)
 	}
 
+	// The telemetry claim riding along: the slowed symbol's flights crossed
+	// the tripwire and were captured with stage attribution.
+	// A flight's label lists every symbol it covered, so match by substring.
+	slowCaptured := 0
+	for _, tr := range obs.SlowTraces() {
+		if strings.Contains(tr.Label, chaosSlowSym) {
+			slowCaptured++
+		}
+	}
+	if slowCaptured == 0 {
+		return nil, fmt.Errorf("no %s flight crossed the %v slow-solve tripwire — slow-trace capture is broken", chaosSlowSym, delay/2)
+	}
+
 	avail := &Table{
 		ID:    "serve-chaos",
 		Title: fmt.Sprintf("quote availability under injected faults: %d contracts x 3 symbols, %d rounds x %d quotes at T=%d", len(entries), rounds, quotesPerTick, steps),
@@ -191,14 +214,16 @@ func serveChaos(cfg Config) ([]*Table, error) {
 		Title: "robustness counters over the chaos replay",
 		Note: "panics_recovered = solver panics confined to their contract; circuit_opens = per-symbol breaker trips; " +
 			"quarantined = contracts currently pulled from repricing flights (stacks preserved); budget_in_use = spawn " +
-			"tokens still held at the end (must be 0)",
-		Header: []string{"panics_recovered", "degraded_serves", "circuit_opens", "quarantined", "budget_in_use"},
+			"tokens still held at the end (must be 0); slow_traces = " + chaosSlowSym + " flights captured by the " +
+			"slow-solve tripwire with per-stage breakdowns (what /debug/slow serves live; must be > 0)",
+		Header: []string{"panics_recovered", "degraded_serves", "circuit_opens", "quarantined", "budget_in_use", "slow_traces"},
 		Rows: [][]string{{
 			fmt.Sprint(after.PanicsRecovered - before.PanicsRecovered),
 			fmt.Sprint(after.DegradedServes - before.DegradedServes),
 			fmt.Sprint(after.CircuitOpens - before.CircuitOpens),
 			fmt.Sprint(quarantined),
 			fmt.Sprint(par.InUse()),
+			fmt.Sprint(slowCaptured),
 		}},
 	}
 	return []*Table{avail, counters}, nil

@@ -24,11 +24,23 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"github.com/nlstencil/amop/internal/fft"
+	"github.com/nlstencil/amop/internal/obs"
 	"github.com/nlstencil/amop/internal/par"
 	"github.com/nlstencil/amop/internal/scratch"
 )
+
+// obsEvolveDone records one kernel evolution into the telemetry layer: the
+// process-wide evolve-latency histogram plus the fft_evolve stage of the
+// active span trace, when a repricing flight has one installed. Callers gate
+// on obs.Enabled() so the disabled path costs one atomic load and no
+// time.Now.
+func obsEvolveDone(start time.Time) {
+	obs.FFTEvolve.RecordSince(start)
+	obs.Active().AddSince(obs.StageFFTEvolve, start)
+}
 
 // Stencil is a linear 1D stencil. W[i] is the weight of offset MinOff+i; the
 // last weight corresponds to MaxOff = MinOff + len(W) - 1.
@@ -83,6 +95,9 @@ func SetRealPath(enabled bool) bool { return realPath.Swap(enabled) }
 // The returned slice is freshly owned by the caller; callers that drop it on
 // a hot path may recycle it with scratch.PutFloats.
 func EvolveCone(cur []float64, s Stencil, k int) (vals []float64, firstPos int) {
+	if obs.Enabled() {
+		defer obsEvolveDone(time.Now())
+	}
 	n := len(cur)
 	span := s.Span()
 	if k < 0 {
@@ -258,6 +273,9 @@ func mulSymbolPow(a []complex128, s Stencil, k, N int) {
 // polynomial: position j pulls from j+MinOff+m. The MinOff shift is folded
 // into the cached kernel spectrum as a w_f^MinOff modulation.
 func EvolvePeriodic(cur []float64, s Stencil, k int) []float64 {
+	if obs.Enabled() {
+		defer obsEvolveDone(time.Now())
+	}
 	n := len(cur)
 	if n == 0 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("linstencil: EvolvePeriodic requires power-of-two length, got %d", n))

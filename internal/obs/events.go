@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// The flight recorder: a fixed-size ring of serving events — ticks that
+// moved contracts, repricing flights, breaker transitions, quarantines,
+// degraded serves, tier fallbacks, slow solves — kept in memory at all
+// times and dumped when someone needs the story: /debug/events on demand,
+// SIGQUIT and shutdown in amop-serve. Like an aircraft flight recorder it
+// answers "what happened in the last N events before things went wrong"
+// without any log pipeline in the loop.
+//
+// Events are deliberately small (a kind, a symbol, one int64, an optional
+// detail string) and appends take one short mutex hold; the ring is sized so
+// even a busy server keeps minutes of breaker/quarantine history. The
+// zero-alloc serving paths never append — events fire on state transitions
+// (a tick that moved contracts, a breaker trip), not per quote.
+
+// EventKind classifies a flight-recorder event.
+type EventKind string
+
+const (
+	// EvTick is a market tick that moved at least one contract to a new
+	// quantization cell (N = contracts moved).
+	EvTick EventKind = "tick"
+	// EvReprice is a completed repricing flight (N = contracts solved).
+	EvReprice EventKind = "reprice"
+	// EvBreakerOpen / EvBreakerClose are circuit-breaker transitions.
+	EvBreakerOpen  EventKind = "breaker_open"
+	EvBreakerClose EventKind = "breaker_close"
+	// EvQuarantine is a contract pulled from repricing flights after a
+	// solver panic (N = contract id).
+	EvQuarantine EventKind = "quarantine"
+	// EvDegradedServe is a quote answered from the pinned last-good price.
+	EvDegradedServe EventKind = "degraded_serve"
+	// EvTierFallback is a TierAuto request that fell back to the lattice.
+	EvTierFallback EventKind = "tier_fallback"
+	// EvSlowSolve is a finished trace captured over the slow threshold
+	// (N = items; the trace itself is at /debug/slow).
+	EvSlowSolve EventKind = "slow_solve"
+	// EvServerStart / EvServerStop bracket the daemon's lifetime in the ring.
+	EvServerStart EventKind = "server_start"
+	EvServerStop  EventKind = "server_stop"
+)
+
+// Event is one flight-recorder entry. Seq is a process-wide total order:
+// concurrent recorders receive distinct, strictly increasing sequence
+// numbers, and Events() returns entries sorted by it.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	At     time.Time `json:"at"`
+	Kind   EventKind `json:"kind"`
+	Symbol string    `json:"symbol,omitempty"`
+	N      int64     `json:"n,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+const eventRingCap = 1024
+
+var (
+	evMu   sync.Mutex
+	evBuf  [eventRingCap]Event
+	evNext int
+	evLen  int
+	evSeq  uint64
+)
+
+// RecordEvent appends an event to the flight recorder. The sequence number
+// and timestamp are assigned under the ring's lock, so the ring order, the
+// Seq order and (per Go's monotonic clock) the At order all agree. A nil-op
+// when telemetry is disabled.
+func RecordEvent(kind EventKind, symbol string, n int64, detail string) {
+	if !enabled.Load() {
+		return
+	}
+	evMu.Lock()
+	evSeq++
+	evBuf[evNext] = Event{Seq: evSeq, At: time.Now(), Kind: kind, Symbol: symbol, N: n, Detail: detail}
+	evNext = (evNext + 1) % eventRingCap
+	if evLen < eventRingCap {
+		evLen++
+	}
+	evMu.Unlock()
+}
+
+// Events returns the recorder's contents, oldest first (ascending Seq).
+func Events() []Event {
+	evMu.Lock()
+	defer evMu.Unlock()
+	out := make([]Event, 0, evLen)
+	start := evNext - evLen
+	if start < 0 {
+		start += eventRingCap
+	}
+	for i := 0; i < evLen; i++ {
+		out = append(out, evBuf[(start+i)%eventRingCap])
+	}
+	return out
+}
+
+// WriteEventsNDJSON dumps the flight recorder as one JSON object per line,
+// oldest first — the format of /debug/events and the SIGQUIT/shutdown dumps.
+func WriteEventsNDJSON(w io.Writer) error {
+	events := Events()
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func resetEvents() {
+	evMu.Lock()
+	evNext, evLen, evSeq = 0, 0, 0
+	evMu.Unlock()
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Concurrent recorders (the serve layer's ticks, breaker transitions and
+// quarantines all fire from different goroutines) must produce a strictly
+// increasing, gap-free sequence; run with -race.
+func TestEventOrderingUnderConcurrency(t *testing.T) {
+	resetEvents()
+	defer resetEvents()
+	const workers = 8
+	const per = 100 // workers*per < eventRingCap so nothing is evicted
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sym string) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				RecordEvent(EvTick, sym, int64(i), "")
+			}
+		}(string(rune('A' + w)))
+	}
+	wg.Wait()
+	evs := Events()
+	if len(evs) != workers*per {
+		t.Fatalf("got %d events, want %d", len(evs), workers*per)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("events[%d].Seq = %d, want %d (strictly increasing, gap-free)", i, ev.Seq, i+1)
+		}
+		if i > 0 && evs[i].At.Before(evs[i-1].At) {
+			t.Fatalf("events[%d] timestamp precedes events[%d]", i, i-1)
+		}
+	}
+}
+
+// The ring must keep the newest eventRingCap events when it wraps.
+func TestEventRingWraparound(t *testing.T) {
+	resetEvents()
+	defer resetEvents()
+	total := eventRingCap + 57
+	for i := 0; i < total; i++ {
+		RecordEvent(EvReprice, "X", int64(i), "")
+	}
+	evs := Events()
+	if len(evs) != eventRingCap {
+		t.Fatalf("ring holds %d, want %d", len(evs), eventRingCap)
+	}
+	if evs[0].Seq != uint64(total-eventRingCap+1) || evs[len(evs)-1].Seq != uint64(total) {
+		t.Fatalf("ring span [%d, %d], want [%d, %d]", evs[0].Seq, evs[len(evs)-1].Seq, total-eventRingCap+1, total)
+	}
+}
+
+// Disabled telemetry must drop events entirely.
+func TestEventsRespectEnableGate(t *testing.T) {
+	resetEvents()
+	defer resetEvents()
+	prev := SetEnabled(false)
+	RecordEvent(EvQuarantine, "GONE", 1, "dropped")
+	SetEnabled(prev)
+	if evs := Events(); len(evs) != 0 {
+		t.Fatalf("disabled RecordEvent still recorded: %+v", evs)
+	}
+}
+
+func TestWriteEventsNDJSON(t *testing.T) {
+	resetEvents()
+	defer resetEvents()
+	RecordEvent(EvBreakerOpen, "AAA", 0, "3 consecutive failures")
+	RecordEvent(EvBreakerClose, "AAA", 0, "")
+	var b strings.Builder
+	if err := WriteEventsNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d: %q", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], `"kind":"breaker_open"`) || !strings.Contains(lines[1], `"kind":"breaker_close"`) {
+		t.Fatalf("NDJSON order or content wrong:\n%s", b.String())
+	}
+}

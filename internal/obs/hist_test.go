@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every bucket index must be in range and monotone in the value, and the
+// bucket midpoint must stay within the advertised 12.5% relative error.
+func TestBucketIndexBoundsAndError(t *testing.T) {
+	prev := 0
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1 << 20, 1 << 40, 1 << 62, 1<<63 - 1} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0, %d)", v, idx, histBuckets)
+		}
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone: v=%d idx=%d < prev %d", v, idx, prev)
+		}
+		prev = idx
+		if v >= histSub && idx < histBuckets-1 {
+			mid := bucketMid(idx)
+			rel := float64(mid-v) / float64(v)
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 1.0/histSub {
+				t.Errorf("bucketMid(%d)=%d for v=%d: relative error %.3f > %.3f", idx, mid, v, rel, 1.0/histSub)
+			}
+		}
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Errorf("negative values must clamp to bucket 0, got %d", got)
+	}
+}
+
+// Histogram quantiles must agree with a sorted-sample oracle to within the
+// bucketing's quantization error.
+func TestQuantilesVsSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := newBareHistogram("test")
+	n := 20000
+	samples := make([]int64, n)
+	for i := range samples {
+		// Log-uniform over ~6 decades, the shape of real latency data.
+		v := int64(float64(time.Microsecond) * (1 + 1e6*rng.Float64()*rng.Float64()*rng.Float64()))
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	s := h.Snapshot()
+	if s.Count != int64(n) {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if s.Max != samples[n-1] {
+		t.Errorf("max = %d, want %d", s.Max, samples[n-1])
+	}
+	for _, tc := range []struct {
+		q    float64
+		got  int64
+		name string
+	}{{0.50, s.P50, "p50"}, {0.90, s.P90, "p90"}, {0.99, s.P99, "p99"}} {
+		oracle := samples[int(tc.q*float64(n))]
+		// The histogram answer must land within one bucket of the oracle:
+		// its bucket's midpoint error is <= half the bucket width, and ties
+		// at the rank boundary can shift one bucket more.
+		rel := float64(tc.got-oracle) / float64(oracle)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 2.0/histSub {
+			t.Errorf("%s = %d vs oracle %d: relative error %.3f > %.3f", tc.name, tc.got, oracle, rel, 2.0/histSub)
+		}
+	}
+}
+
+// Concurrent recorders and snapshotters must not race (run with -race) and
+// the final snapshot must account for every record.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	h := newBareHistogram("race")
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(seed int64) {
+			defer rec.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestHistVecLabelsAndProm(t *testing.T) {
+	v := &HistVec{name: "amop_test_seconds", labelName: "tier", help: "test", m: make(map[string]*Histogram)}
+	v.Record("lattice", int64(time.Millisecond))
+	v.Record("analytic_warm", int64(50*time.Microsecond))
+	v.With("idle") // created but never recorded: must not be exported
+	if got := v.Labels(); len(got) != 3 || got[0] != "analytic_warm" || got[1] != "idle" || got[2] != "lattice" {
+		t.Fatalf("Labels() = %v, want sorted [analytic_warm idle lattice]", got)
+	}
+	var b strings.Builder
+	v.writeProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		`amop_test_seconds{tier="lattice",quantile="0.5"}`,
+		`amop_test_seconds{tier="analytic_warm",quantile="0.99"}`,
+		`amop_test_seconds_count{tier="lattice"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("writeProm output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "idle") {
+		t.Errorf("zero-count child exported:\n%s", out)
+	}
+}
+
+// The disabled gate and RecordSince round-trip.
+func TestEnableGateAndRecordSince(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if Enabled() {
+		t.Fatal("Enabled() true after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	h := newBareHistogram("since")
+	h.RecordSince(time.Now().Add(-time.Millisecond))
+	if s := h.Snapshot(); s.Count != 1 || s.Max < int64(time.Millisecond) {
+		t.Fatalf("RecordSince snapshot = %+v", s)
+	}
+	// A start time in the future (fake clocks in tests) must clamp, not
+	// corrupt the histogram.
+	h.RecordSince(time.Now().Add(time.Hour))
+	if s := h.Snapshot(); s.Count != 2 {
+		t.Fatalf("clamped record lost: %+v", s)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP surface of the telemetry layer: the /debug handlers amop-serve mounts
+// and the NDJSON access-log middleware with request-id propagation.
+
+// SlowHandler serves the captured slow traces as NDJSON — the per-stage
+// breakdown of every solve that crossed the slow threshold.
+func SlowHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		WriteTracesNDJSON(w, SlowTraces())
+	})
+}
+
+// TracesHandler serves the bounded ring of recent traces as NDJSON.
+func TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		WriteTracesNDJSON(w, RecentTraces())
+	})
+}
+
+// EventsHandler serves the flight recorder as NDJSON, oldest first.
+func EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		WriteEventsNDJSON(w)
+	})
+}
+
+// --- request ids ------------------------------------------------------------
+
+// Request ids are a boot-scoped prefix plus a monotonic counter — unique
+// within and across restarts (the prefix changes), cheap to mint (one
+// atomic add), and greppable from the access log straight into client
+// reports, because every response echoes its id as X-Amop-Request-Id.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = fmt.Sprintf("%08x", uint32(time.Now().UnixNano()))
+)
+
+// RequestIDHeader is the response header carrying the request id.
+const RequestIDHeader = "X-Amop-Request-Id"
+
+// NextRequestID mints a fresh request id.
+func NextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}
+
+// statusWriter captures the status code and byte count an handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessRecord is one NDJSON access-log line.
+type accessRecord struct {
+	TS     time.Time `json:"ts"`
+	ID     string    `json:"id"`
+	Method string    `json:"method"`
+	Path   string    `json:"path"`
+	Status int       `json:"status"`
+	DurMs  float64   `json:"dur_ms"`
+	Bytes  int64     `json:"bytes"`
+	Remote string    `json:"remote,omitempty"`
+}
+
+// AccessLog wraps an HTTP handler with a structured NDJSON access log. Every
+// request is assigned a request id (an incoming X-Amop-Request-Id is honored
+// so ids propagate through proxies and retries), the id is echoed on the
+// response, and one JSON line — timestamp, id, method, path, status,
+// duration, bytes — is written to out per request. Writes are serialized so
+// concurrent requests never interleave partial lines. A nil out keeps the
+// request-id assignment and echo but skips the log line entirely.
+func AccessLog(next http.Handler, out io.Writer) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NextRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		if out == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		rec := accessRecord{
+			TS: start, ID: id, Method: r.Method, Path: r.URL.Path,
+			Status: sw.status, DurMs: float64(time.Since(start)) / 1e6,
+			Bytes: sw.bytes, Remote: r.RemoteAddr,
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		out.Write(append(line, '\n'))
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Every response must carry a request id; an incoming id must be echoed
+// verbatim, and the access log must record one JSON line per request.
+func TestAccessLogRequestIDs(t *testing.T) {
+	var sb strings.Builder
+	h := AccessLog(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}), &sb)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/quote?id=1", nil))
+	minted := rec.Header().Get(RequestIDHeader)
+	if minted == "" {
+		t.Fatal("no X-Amop-Request-Id minted")
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/quote?id=2", nil)
+	req.Header.Set(RequestIDHeader, "upstream-7")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "upstream-7" {
+		t.Fatalf("incoming id not echoed: got %q", got)
+	}
+
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 access-log lines, got %d: %q", len(lines), sb.String())
+	}
+	var rec1 accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec1); err != nil {
+		t.Fatalf("access-log line is not JSON: %v", err)
+	}
+	if rec1.ID != minted || rec1.Status != http.StatusTeapot || rec1.Bytes != int64(len("short and stout")) || rec1.Path != "/quote" {
+		t.Fatalf("access record = %+v", rec1)
+	}
+}
+
+// A nil sink keeps the id plumbing but writes nothing.
+func TestAccessLogNilSink(t *testing.T) {
+	h := AccessLog(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Fatal("nil-sink AccessLog dropped the request id")
+	}
+}
+
+func TestNextRequestIDUnique(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if a == b {
+		t.Fatalf("consecutive ids collide: %q", a)
+	}
+}
+
+// The debug handlers must serve NDJSON with the right content type.
+func TestDebugHandlers(t *testing.T) {
+	resetEvents()
+	resetTraces()
+	defer resetEvents()
+	defer resetTraces()
+	RecordEvent(EvDegradedServe, "AAA", 1, "")
+	StartTrace("flight", "h").Finish()
+	for _, tc := range []struct {
+		name string
+		h    http.Handler
+	}{{"events", EventsHandler()}, {"traces", TracesHandler()}, {"slow", SlowHandler()}} {
+		rec := httptest.NewRecorder()
+		tc.h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/"+tc.name, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("%s: Content-Type = %q", tc.name, ct)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lightweight span tracing of the pricing path. A Trace is started per
+// repricing flight and threaded two ways: through the context plumbing into
+// the batch engine (obs.NewContext -> PriceBatchCtx -> engine), and through
+// the process-wide active-trace hook (SetActive) for the layers the context
+// does not reach — the analytic boundary solver and the linstencil FFT
+// kernels sit many calls below any context parameter, and the coalescer
+// already guarantees at most one flight runs at a time, so a single active
+// pointer attributes their stage time correctly.
+//
+// Stages are a fixed enum and accumulation is an atomic add per (stage,
+// trace): concurrent batch workers record into one flight's trace without
+// locks or allocation. Finish snapshots the trace into a bounded ring of
+// recent traces and, when the total exceeds the slow threshold, into the
+// slow-trace ring exported as NDJSON at /debug/slow.
+
+// Stage identifies one instrumented segment of the pricing path.
+type Stage int
+
+const (
+	// StageSnapshot is the flight's dirty-set snapshot under the server lock.
+	StageSnapshot Stage = iota
+	// StageTier is the tier-eligibility decision (envelope check).
+	StageTier
+	// StageMemo is the repricing-memo lookup in the batch engine.
+	StageMemo
+	// StageBudgetWait is time spent acquiring spawn-budget tokens.
+	StageBudgetWait
+	// StageSolveLattice is a lattice solve (FFT evolution included).
+	StageSolveLattice
+	// StageSolveAnalytic is an analytic-tier solve end to end.
+	StageSolveAnalytic
+	// StageBoundarySolve is the analytic tier's cold boundary fixed point.
+	StageBoundarySolve
+	// StageQuadrature is the analytic tier's premium quadrature.
+	StageQuadrature
+	// StageFFTEvolve is one linstencil FFT evolution inside a lattice solve.
+	StageFFTEvolve
+	// StagePublish is the flight's surface write-back under the server lock.
+	StagePublish
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"snapshot", "tier", "memo", "budget_wait", "solve_lattice",
+	"solve_analytic", "boundary_solve", "quadrature", "fft_evolve", "publish",
+}
+
+// String names the stage as /debug/slow spells it.
+func (s Stage) String() string {
+	if s >= 0 && s < numStages {
+		return stageNames[s]
+	}
+	return "stage(?)"
+}
+
+// Trace accumulates per-stage time for one unit of pricing work (one
+// repricing flight). All methods are safe for concurrent use and nil-safe,
+// so call sites never need a nil check of their own.
+type Trace struct {
+	kind  string
+	label string
+	start time.Time
+
+	items atomic.Int64
+	ns    [numStages]atomic.Int64
+	count [numStages]atomic.Int64
+}
+
+// StartTrace begins a trace. kind classifies the work ("flight"); label
+// carries a human hint (the symbols being repriced). Callers gate on
+// Enabled — StartTrace allocates, which is fine at flight granularity and
+// wrong at quote granularity.
+func StartTrace(kind, label string) *Trace {
+	return &Trace{kind: kind, label: label, start: time.Now()}
+}
+
+// Add accumulates d into a stage. Nil traces and out-of-range stages are
+// ignored.
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t == nil || s < 0 || s >= numStages {
+		return
+	}
+	t.ns[s].Add(int64(d))
+	t.count[s].Add(1)
+}
+
+// AddSince accumulates the time elapsed since start into a stage.
+func (t *Trace) AddSince(s Stage, start time.Time) { t.Add(s, time.Since(start)) }
+
+// SetItems records how many work items (contracts) the trace covers.
+func (t *Trace) SetItems(n int) {
+	if t != nil {
+		t.items.Store(int64(n))
+	}
+}
+
+// StageTiming is one stage's accumulated time within a finished trace.
+type StageTiming struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
+	Count int64   `json:"count"`
+}
+
+// TraceSnapshot is a finished, immutable trace as exported at /debug/slow
+// and /debug/traces: total wall time plus the per-stage breakdown. Stage
+// times are summed across workers, so stages of a parallel solve may add up
+// to more than TotalMs — that surplus is the parallelism.
+type TraceSnapshot struct {
+	Kind    string        `json:"kind"`
+	Label   string        `json:"label,omitempty"`
+	Start   time.Time     `json:"start"`
+	TotalMs float64       `json:"total_ms"`
+	Items   int64         `json:"items,omitempty"`
+	Slow    bool          `json:"slow,omitempty"`
+	Stages  []StageTiming `json:"stages"`
+}
+
+// Finish seals the trace: the snapshot is pushed into the recent-trace ring
+// and, when total wall time meets the slow threshold, into the slow ring
+// (with a slow_solve event in the flight recorder). It returns the snapshot
+// so callers can log it; a nil trace finishes to a zero snapshot.
+func (t *Trace) Finish() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	total := time.Since(t.start)
+	snap := TraceSnapshot{
+		Kind:    t.kind,
+		Label:   t.label,
+		Start:   t.start,
+		TotalMs: float64(total) / 1e6,
+		Items:   t.items.Load(),
+	}
+	for s := Stage(0); s < numStages; s++ {
+		if c := t.count[s].Load(); c > 0 {
+			snap.Stages = append(snap.Stages, StageTiming{
+				Stage: s.String(),
+				Ms:    float64(t.ns[s].Load()) / 1e6,
+				Count: c,
+			})
+		}
+	}
+	snap.Slow = total >= SlowThreshold()
+	recentRing.push(snap)
+	if snap.Slow {
+		slowRing.push(snap)
+		RecordEvent(EvSlowSolve, t.label, t.items.Load(), "")
+	}
+	return snap
+}
+
+// slowThresholdNs is the wall-time threshold beyond which a finished trace
+// is captured into the slow ring. Default 100ms.
+var slowThresholdNs atomic.Int64
+
+func init() { slowThresholdNs.Store(int64(100 * time.Millisecond)) }
+
+// SlowThreshold returns the current slow-trace capture threshold.
+func SlowThreshold() time.Duration { return time.Duration(slowThresholdNs.Load()) }
+
+// SetSlowThreshold sets the slow-trace capture threshold and returns the
+// previous value. amop-serve exposes it as -slow-threshold.
+func SetSlowThreshold(d time.Duration) time.Duration {
+	return time.Duration(slowThresholdNs.Swap(int64(d)))
+}
+
+// --- active-trace hook ------------------------------------------------------
+
+// activeTrace is the process-wide current trace, set around each repricing
+// flight. Layers with no context parameter (linstencil's FFT kernels, the
+// analytic boundary solver) attribute their stage time to it. At most one
+// flight runs at a time (the coalescer serializes them), so the single slot
+// is sufficient; bulk work that runs with no active trace records only into
+// the histograms.
+var activeTrace atomic.Pointer[Trace]
+
+// SetActive installs t as the process-wide active trace and returns the
+// previous one (restore it when the scope ends).
+func SetActive(t *Trace) *Trace { return activeTrace.Swap(t) }
+
+// Active returns the process-wide active trace, or nil.
+func Active() *Trace { return activeTrace.Load() }
+
+// --- context threading ------------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the trace, for the plumbing that
+// already passes contexts (QuoteCtx -> flight -> PriceBatchCtx -> engine).
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts the trace threaded by NewContext, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// --- trace rings ------------------------------------------------------------
+
+const (
+	recentTraceCap = 64
+	slowTraceCap   = 32
+)
+
+// traceRing is a bounded ring of finished traces. Pushes are rare (one per
+// flight), so a mutex is the right tool; the serving path never touches it.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceSnapshot
+	next int
+	n    int
+}
+
+func newTraceRing(cap int) *traceRing { return &traceRing{buf: make([]TraceSnapshot, cap)} }
+
+func (r *traceRing) push(s TraceSnapshot) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// list returns the ring's contents, oldest first.
+func (r *traceRing) list() []TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSnapshot, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+func (r *traceRing) reset() {
+	r.mu.Lock()
+	r.next, r.n = 0, 0
+	r.mu.Unlock()
+}
+
+var (
+	recentRing = newTraceRing(recentTraceCap)
+	slowRing   = newTraceRing(slowTraceCap)
+)
+
+// RecentTraces returns the bounded ring of recently finished traces, oldest
+// first.
+func RecentTraces() []TraceSnapshot { return recentRing.list() }
+
+// SlowTraces returns the captured slow traces (total wall time over the
+// threshold at finish), oldest first.
+func SlowTraces() []TraceSnapshot { return slowRing.list() }
+
+// WriteTracesNDJSON writes one JSON object per trace, newline-delimited.
+func WriteTracesNDJSON(w io.Writer, traces []TraceSnapshot) error {
+	enc := json.NewEncoder(w)
+	for i := range traces {
+		if err := enc.Encode(&traces[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func resetTraces() {
+	recentRing.reset()
+	slowRing.reset()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Nil traces must absorb every method silently: call sites are written
+// without nil checks.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(StageMemo, time.Millisecond)
+	tr.AddSince(StageTier, time.Now())
+	tr.SetItems(7)
+	if snap := tr.Finish(); snap.Kind != "" || len(snap.Stages) != 0 {
+		t.Fatalf("nil Finish = %+v, want zero snapshot", snap)
+	}
+	tr.Add(Stage(-1), time.Second) // out-of-range stages too
+	tr.Add(numStages, time.Second)
+}
+
+// The recent-trace ring must hold exactly the last recentTraceCap traces,
+// oldest first, after wrapping.
+func TestTraceRingWraparound(t *testing.T) {
+	resetTraces()
+	defer resetTraces()
+	total := recentTraceCap + 13
+	for i := 0; i < total; i++ {
+		StartTrace("flight", fmt.Sprintf("t%03d", i)).Finish()
+	}
+	got := RecentTraces()
+	if len(got) != recentTraceCap {
+		t.Fatalf("ring holds %d traces, want %d", len(got), recentTraceCap)
+	}
+	for i, snap := range got {
+		want := fmt.Sprintf("t%03d", total-recentTraceCap+i)
+		if snap.Label != want {
+			t.Fatalf("ring[%d].Label = %q, want %q (oldest-first order broken)", i, snap.Label, want)
+		}
+	}
+}
+
+// Traces over the threshold must land in the slow ring with their per-stage
+// breakdown, and leave a slow_solve event in the flight recorder.
+func TestSlowCapture(t *testing.T) {
+	resetTraces()
+	resetEvents()
+	defer resetTraces()
+	defer resetEvents()
+	prev := SetSlowThreshold(0) // everything is slow
+	defer SetSlowThreshold(prev)
+
+	tr := StartTrace("flight", "SLOW")
+	tr.SetItems(3)
+	tr.Add(StageSolveLattice, 5*time.Millisecond)
+	tr.Add(StageSolveLattice, 7*time.Millisecond)
+	tr.Add(StagePublish, time.Millisecond)
+	snap := tr.Finish()
+	if !snap.Slow {
+		t.Fatal("snapshot not marked slow at threshold 0")
+	}
+	slow := SlowTraces()
+	if len(slow) != 1 || slow[0].Label != "SLOW" || slow[0].Items != 3 {
+		t.Fatalf("SlowTraces() = %+v", slow)
+	}
+	var lattice *StageTiming
+	for i := range slow[0].Stages {
+		if slow[0].Stages[i].Stage == "solve_lattice" {
+			lattice = &slow[0].Stages[i]
+		}
+	}
+	if lattice == nil || lattice.Count != 2 || lattice.Ms < 11.9 {
+		t.Fatalf("solve_lattice stage = %+v, want count 2, ~12ms", lattice)
+	}
+	found := false
+	for _, ev := range Events() {
+		if ev.Kind == EvSlowSolve && ev.Symbol == "SLOW" && ev.N == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slow_solve event recorded; events = %+v", Events())
+	}
+
+	// Under the threshold: recent ring only.
+	SetSlowThreshold(time.Hour)
+	StartTrace("flight", "FAST").Finish()
+	if got := SlowTraces(); len(got) != 1 {
+		t.Fatalf("fast trace leaked into slow ring: %+v", got)
+	}
+}
+
+// Concurrent workers accumulating into one trace (the batch pool's shape)
+// must not lose adds; run with -race.
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := StartTrace("flight", "conc")
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Add(StageMemo, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Finish()
+	for _, st := range snap.Stages {
+		if st.Stage == "memo" {
+			if st.Count != workers*per {
+				t.Fatalf("memo count = %d, want %d", st.Count, workers*per)
+			}
+			return
+		}
+	}
+	t.Fatal("memo stage missing from snapshot")
+}
+
+func TestContextThreadingAndActiveHook(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context should be nil")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) should be nil")
+	}
+	tr := StartTrace("flight", "ctx")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost through context")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil trace) should return ctx unchanged")
+	}
+
+	prev := SetActive(tr)
+	if Active() != tr {
+		t.Fatal("Active() lost the installed trace")
+	}
+	if SetActive(prev) != tr {
+		t.Fatal("SetActive should return the displaced trace")
+	}
+}
+
+func TestWriteTracesNDJSON(t *testing.T) {
+	tr := StartTrace("flight", "ndjson")
+	tr.Add(StageQuadrature, time.Millisecond)
+	snap := tr.Finish()
+	var b strings.Builder
+	if err := WriteTracesNDJSON(&b, []TraceSnapshot{snap}); err != nil {
+		t.Fatal(err)
+	}
+	line := b.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one newline-terminated JSON line, got %q", line)
+	}
+	for _, want := range []string{`"kind":"flight"`, `"label":"ndjson"`, `"stage":"quadrature"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("NDJSON line missing %s: %s", want, line)
+		}
+	}
+}

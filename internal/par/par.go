@@ -15,8 +15,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/nlstencil/amop/internal/faultinject"
+	"github.com/nlstencil/amop/internal/obs"
 )
 
 // PanicError is a panic captured in a worker goroutine and re-raised on the
@@ -149,6 +151,12 @@ var releasePulse = make(chan struct{}, 1)
 func AcquireCtx(ctx context.Context, max int) (int, error) {
 	if max <= 0 {
 		return 0, ctx.Err()
+	}
+	if obs.Enabled() {
+		// Time the whole acquisition, blocked or not: uncontended acquires
+		// land in the histogram's bottom bucket, so the budget-wait quantiles
+		// reflect how often callers actually queue for tokens.
+		defer obs.BudgetWait.RecordSince(time.Now())
 	}
 	for {
 		if err := ctx.Err(); err != nil {

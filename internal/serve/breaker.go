@@ -120,8 +120,10 @@ func (b *Breaker) Allow(now time.Time) bool {
 }
 
 // Success records a healthy solve outcome: it resets the failure run and,
-// from half-open, closes the breaker.
-func (b *Breaker) Success() {
+// from half-open, closes the breaker. It reports whether this call closed a
+// previously open breaker (callers record the recovery transition on that
+// edge, mirroring Failure's opened return).
+func (b *Breaker) Success() (closed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.fails = 0
@@ -129,7 +131,9 @@ func (b *Breaker) Success() {
 	if b.state != BreakerClosed {
 		b.state = BreakerClosed
 		b.wait = 0
+		return true
 	}
+	return false
 }
 
 // Failure records a failed solve outcome (error, panic, or health-gate

@@ -38,6 +38,11 @@ func AddStaleServes(n int64) { staleServes.Add(n) }
 // entry — the serving fast path.
 func AddCacheServes(n int64) { cacheServes.Add(n) }
 
+// CacheServes reads the cache-serve counter. The serving layer uses it as a
+// free sampling tick for quote-latency telemetry: the counter advances once
+// per cached serve anyway, so "every Nth serve" costs one atomic load.
+func CacheServes() int64 { return cacheServes.Load() }
+
 // AddPanicRecovered records a pricer panic captured and isolated to one
 // contract (by the batch engine's per-item recover or a coalesced flight).
 func AddPanicRecovered() { panicsRecovered.Add(1) }

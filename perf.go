@@ -1,6 +1,10 @@
 package amop
 
 import (
+	"fmt"
+	"io"
+	"reflect"
+
 	"github.com/nlstencil/amop/internal/fft"
 	"github.com/nlstencil/amop/internal/linstencil"
 	"github.com/nlstencil/amop/internal/serve"
@@ -11,66 +15,72 @@ import (
 // worker shares, and the byte traffic through the FFT substrate. Counters are
 // cumulative since process start; sample before and after a workload and
 // subtract to attribute activity to it.
+//
+// Every field carries a prom struct tag naming its Prometheus series;
+// WriteProm walks the tags by reflection, so /metrics, the shutdown snapshot
+// and any future exporter stay exhaustive by construction — a new counter
+// added here is exported everywhere at once, and a reflection test fails
+// when a tag is missing.
 type PerfCounters struct {
 	// SpectrumCacheHits / SpectrumCacheMisses count lookups of the
 	// precomputed kernel spectra (stencil symbol raised to the step count) by
 	// the FFT evolution hot path. A healthy steady-state workload — a chain
 	// repriced every tick, a batch sweeping strikes on one lattice — runs at
 	// a hit rate near 1.
-	SpectrumCacheHits   int64
-	SpectrumCacheMisses int64
+	SpectrumCacheHits   int64 `prom:"amop_spectrum_cache_hits_total"`
+	SpectrumCacheMisses int64 `prom:"amop_spectrum_cache_misses_total"`
 	// SpectrumCacheBytes / SpectrumCacheEntries describe the cache's current
 	// footprint, bounded by linstencil.SetSpectrumCacheLimit (64 MiB by
 	// default).
-	SpectrumCacheBytes   int64
-	SpectrumCacheEntries int
+	SpectrumCacheBytes   int64 `prom:"amop_spectrum_cache_bytes"`
+	SpectrumCacheEntries int   `prom:"amop_spectrum_cache_entries"`
 	// SpectrumSymbolHits / SpectrumSymbolMisses count lookups in the cache's
 	// symbol-table layer: the modulated stencil symbol evaluated once per
 	// transform size and shared by every step-count power derived at that
 	// size.
-	SpectrumSymbolHits   int64
-	SpectrumSymbolMisses int64
+	SpectrumSymbolHits   int64 `prom:"amop_spectrum_symbol_hits_total"`
+	SpectrumSymbolMisses int64 `prom:"amop_spectrum_symbol_misses_total"`
 	// SpectrumCrossResHits counts symbol tables derived from a table cached
 	// at a different transform size — subsampled exactly from a larger one,
 	// or seeded with the even frequencies of a smaller one — instead of
 	// evaluated from scratch. A scenario sweep that prices its base book at
 	// full resolution and its bump grid at reduced resolution shares symbol
 	// work across the two step counts through exactly this path.
-	SpectrumCrossResHits int64
+	SpectrumCrossResHits int64 `prom:"amop_spectrum_cross_res_hits_total"`
 	// FFTBytesTransformed counts sample bytes pushed through FFT butterfly
 	// stages (8 per real sample, 16 per complex sample, per direction). The
 	// real-input path moves half the bytes of the complex path it replaced.
-	FFTBytesTransformed int64
+	FFTBytesTransformed int64 `prom:"amop_fft_bytes_transformed_total"`
 	// FFTSoATransforms counts transforms executed by the SoA split-plane
 	// kernel (per direction). With the SoA path enabled — the default on
 	// machines with the accelerated butterfly kernel — a healthy workload
 	// shows this tracking the transform count, and its bytes are included in
 	// FFTBytesTransformed.
-	FFTSoATransforms int64
+	FFTSoATransforms int64 `prom:"amop_fft_soa_transforms_total"`
 	// RepricingMemoHits / RepricingMemoMisses count how often a batch
 	// engine served a repricing from its per-batch memo versus priced it
 	// fresh. A chain with Greeks and implied vols enabled reprices shared
 	// points by construction — the IV solver's seed and first slope reuse
 	// the Greeks' base price and vega bumps — so a healthy run shows a
 	// strictly positive hit count.
-	RepricingMemoHits   int64
-	RepricingMemoMisses int64
+	RepricingMemoHits   int64 `prom:"amop_repricing_memo_hits_total"`
+	RepricingMemoMisses int64 `prom:"amop_repricing_memo_misses_total"`
 	// TickReprices / TickSkips count, across every live pricing Server in
 	// the process, contracts a market tick marked for re-solve (their
 	// quantized inputs moved to a new cell) versus left untouched (inputs
 	// wandered inside their cell). A healthy tick stream over a sensibly
 	// bucketed book shows TickSkips well above TickReprices — that gap is
 	// the work the incremental path never does.
-	TickReprices int64
-	TickSkips    int64
+	TickReprices int64 `prom:"amop_serve_tick_reprices_total"`
+	TickSkips    int64 `prom:"amop_serve_tick_skips_total"`
 	// CoalescedRequests counts quote requests that joined an in-flight
 	// repricing batch instead of starting their own; StaleServes counts
 	// quotes answered from a dirty-but-fresh surface under the server's
 	// MaxStaleness bound; ServeCacheHits counts quotes answered straight
 	// from a clean surface entry (the serving fast path).
-	CoalescedRequests int64
-	StaleServes       int64
-	ServeCacheHits    int64
+	CoalescedRequests int64 `prom:"amop_serve_coalesced_requests_total"`
+	StaleServes       int64 `prom:"amop_serve_stale_serves_total"`
+	ServeCacheHits    int64 `prom:"amop_serve_cache_hits_total"`
 	// AnalyticServes counts prices served by the analytic fast path — forced
 	// through Algorithm Analytic or promoted by TierAuto; TierFallbacks
 	// counts TierAuto candidates that fell back to the lattice (Bermudan
@@ -79,9 +89,9 @@ type PerfCounters struct {
 	// cross-validation pairs priced through XvalCheck. On an in-envelope
 	// vanilla book served under TierAuto, AnalyticServes tracks the quote
 	// count and TierFallbacks stays flat.
-	AnalyticServes int64
-	TierFallbacks  int64
-	XvalChecks     int64
+	AnalyticServes int64 `prom:"amop_tier_analytic_serves_total"`
+	TierFallbacks  int64 `prom:"amop_tier_fallbacks_total"`
+	XvalChecks     int64 `prom:"amop_tier_xval_checks_total"`
 	// PanicsRecovered counts pricer panics captured and confined to a single
 	// contract (the batch engine's per-item recover, or a coalesced flight's
 	// recover); DegradedServes counts quotes answered from a pinned last-good
@@ -90,10 +100,10 @@ type PerfCounters struct {
 	// breakers tripping open on consecutive solve failures; CtxCancels counts
 	// solves and batch items abandoned on context cancellation or deadline
 	// expiry. On a healthy serving process all four stay flat.
-	PanicsRecovered int64
-	DegradedServes  int64
-	CircuitOpens    int64
-	CtxCancels      int64
+	PanicsRecovered int64 `prom:"amop_serve_panics_recovered_total"`
+	DegradedServes  int64 `prom:"amop_serve_degraded_serves_total"`
+	CircuitOpens    int64 `prom:"amop_serve_circuit_opens_total"`
+	CtxCancels      int64 `prom:"amop_serve_ctx_cancels_total"`
 }
 
 // ReadPerfCounters returns the current counter snapshot.
@@ -127,5 +137,21 @@ func ReadPerfCounters() PerfCounters {
 		DegradedServes:       srv.DegradedServes,
 		CircuitOpens:         srv.CircuitOpens,
 		CtxCancels:           srv.CtxCancels,
+	}
+}
+
+// WriteProm writes the snapshot in Prometheus text exposition format, one
+// series per field, named by the fields' prom struct tags. amop-serve's
+// /metrics endpoint and its shutdown counter dump both go through this one
+// writer, so the two can never drift apart field-by-field.
+func (c PerfCounters) WriteProm(w io.Writer) {
+	v := reflect.ValueOf(c)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		name := t.Field(i).Tag.Get("prom")
+		if name == "" {
+			continue
+		}
+		fmt.Fprintf(w, "%s %d\n", name, v.Field(i).Int())
 	}
 }

@@ -333,7 +333,7 @@ func ScenarioSweepCtx(ctx context.Context, reqs []Request, scenarios []Scenario,
 		}
 	}
 
-	runPool(len(tasks), opts.Workers, true, func(i int) {
+	runPool(len(tasks), opts.Workers, true, nil, func(i int) {
 		t := tasks[i]
 		res := eng.run(Request{Option: t.o, Model: t.m, Config: t.cfg})
 		t.price, t.err = res.Price, res.Err

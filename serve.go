@@ -48,9 +48,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/nlstencil/amop/internal/obs"
 	"github.com/nlstencil/amop/internal/par"
 	"github.com/nlstencil/amop/internal/serve"
 )
@@ -406,6 +408,12 @@ func (s *Server) tick(symbol string, update func(Market) Market) (TickResult, er
 	s.mu.Unlock()
 	serve.AddTickReprices(int64(res.Moved))
 	serve.AddTickSkips(int64(res.Skipped))
+	if res.Moved > 0 && obs.Enabled() {
+		// Only cell-crossing ticks reach the flight recorder: they are the
+		// state transitions worth replaying, and the within-bucket skip path
+		// stays free of ring traffic.
+		obs.RecordEvent(obs.EvTick, symbol, int64(res.Moved), "")
+	}
 	return res, nil
 }
 
@@ -416,6 +424,14 @@ func (s *Server) tick(symbol string, update func(Market) Market) (TickResult, er
 // freshest solved surface is served, flagged stale, regardless of
 // MaxStaleness.
 const quoteRounds = 3
+
+// quoteSampleEvery is the quote-latency sampling interval: one cached serve
+// in quoteSampleEvery is timed into obs.QuoteLatency / obs.StalenessAge.
+// Must be a power of two (the sample check is a mask). At 1/512 the
+// amortized clock-read cost of the sampled calls is well under a nanosecond
+// per serve, which is what keeps the telemetry-on fast path inside its 5%
+// latency budget (TestObsOverheadSmoke).
+const quoteSampleEvery = 512
 
 // Quote answers one contract from the surface; it is QuoteCtx without a
 // deadline.
@@ -440,7 +456,40 @@ func (s *Server) Quote(id int) (ServedQuote, error) {
 // set; if no good price was ever solved, the solve's error is returned. A
 // canceled ctx stops the wait and returns ctx.Err(); the shared repricing
 // flight keeps running for the other quotes waiting on it.
+//
+// Successful serves are recorded into the per-symbol quote-latency
+// histogram and the staleness-age histogram (obs.QuoteLatency,
+// obs.StalenessAge) on a sampled basis: every quoteSampleEvery-th cached
+// serve is timed, using the cache-serve counter the fast path already pays
+// for as the sampling tick. A cached serve is tens of nanoseconds — cheaper
+// than a single clock read — so timing every call would cost more than the
+// operation being measured; sampling keeps the telemetry-on fast path to two
+// atomic loads and 0 allocs while the histogram still sees an unbiased draw
+// from the same distribution. Slow serves are captured independently by the
+// repricing-flight traces and the solve-latency histograms, which are timed
+// on every flight.
 func (s *Server) QuoteCtx(ctx context.Context, id int) (ServedQuote, error) {
+	if !obs.Enabled() {
+		return s.quoteCtx(ctx, id)
+	}
+	if serve.CacheServes()&(quoteSampleEvery-1) != 0 {
+		return s.quoteCtx(ctx, id)
+	}
+	start := time.Now()
+	q, err := s.quoteCtx(ctx, id)
+	if err == nil && id >= 0 && id < len(s.book) {
+		// The book and its symbols are immutable after NewServer, so the
+		// label read needs no lock. Age is clamped at zero: fake-clock test
+		// servers can serve entries stamped "in the future".
+		now := time.Now()
+		obs.QuoteLatency.With(s.book[id].entry.Symbol).Record(int64(now.Sub(start)))
+		obs.StalenessAge.Record(int64(now.Sub(q.At)))
+	}
+	return q, err
+}
+
+// quoteCtx is QuoteCtx's uninstrumented body.
+func (s *Server) quoteCtx(ctx context.Context, id int) (ServedQuote, error) {
 	if id < 0 || id >= len(s.book) {
 		return ServedQuote{}, fmt.Errorf("amop: quote id %d out of range [0, %d)", id, len(s.book))
 	}
@@ -469,8 +518,10 @@ func (s *Server) QuoteCtx(ctx context.Context, id int) (ServedQuote, error) {
 		if c.quar != nil || s.breakers[c.entry.Symbol].Blocked(s.now()) {
 			if c.valid {
 				q := c.snapshot(true, true)
+				sym := c.entry.Symbol
 				s.mu.Unlock()
 				serve.AddDegradedServes(1)
+				obs.RecordEvent(obs.EvDegradedServe, sym, int64(id), "")
 				return q, nil
 			}
 			err := c.err
@@ -492,8 +543,10 @@ func (s *Server) QuoteCtx(ctx context.Context, id int) (ServedQuote, error) {
 			// degrade onto the last-good price, or surface the failure.
 			if c.valid {
 				q := c.snapshot(true, true)
+				sym := c.entry.Symbol
 				s.mu.Unlock()
 				serve.AddDegradedServes(1)
+				obs.RecordEvent(obs.EvDegradedServe, sym, int64(id), "")
 				return q, nil
 			}
 			err := c.err
@@ -501,7 +554,16 @@ func (s *Server) QuoteCtx(ctx context.Context, id int) (ServedQuote, error) {
 			return ServedQuote{}, err
 		}
 		s.mu.Unlock()
+		var waitStart time.Time
+		if obs.Enabled() {
+			waitStart = time.Now()
+		}
 		joined, err := s.flights.DoCtx(ctx, s.repriceDirty)
+		if joined && !waitStart.IsZero() {
+			// Only joiners waited on someone else's flight; the leader's
+			// time is the solve itself, reported by SolveLatency.
+			obs.CoalescerWait.RecordSince(waitStart)
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				serve.AddCtxCancel()
@@ -604,6 +666,10 @@ func (c *bookContract) actionable(s *Server, now time.Time) bool {
 // circuit breaker.
 func (s *Server) repriceDirty() error {
 	now := s.now()
+	var snapStart time.Time
+	if obs.Enabled() {
+		snapStart = time.Now()
+	}
 	s.mu.Lock()
 	var (
 		ids  []int
@@ -643,11 +709,36 @@ func (s *Server) repriceDirty() error {
 	if len(ids) == 0 {
 		return nil
 	}
-	res := PriceBatch(reqs, BatchOptions{Workers: s.workers, Interactive: true, Tier: s.tier})
+	// The flight is the span-traced unit of pricing work: the trace rides
+	// the context into the batch engine (stage times for tier decisions,
+	// memo lookups, budget waits and solves accumulate from every worker)
+	// and is installed as the process-wide active trace for the layers below
+	// any context parameter (the FFT kernels, the analytic boundary solver).
+	// Finish captures it into the recent ring — and the slow ring, when the
+	// flight crossed the slow threshold.
+	var tr *obs.Trace
+	ctx := context.Background()
+	if !snapStart.IsZero() {
+		tr = obs.StartTrace("flight", flightLabel(reqs))
+		tr.SetItems(len(ids))
+		tr.AddSince(obs.StageSnapshot, snapStart)
+		ctx = obs.NewContext(ctx, tr)
+		defer obs.SetActive(obs.SetActive(tr))
+		defer func() {
+			snap := tr.Finish()
+			obs.RecordEvent(obs.EvReprice, snap.Label, int64(len(ids)), "")
+		}()
+	}
+	res := PriceBatchCtx(ctx, reqs, BatchOptions{Workers: s.workers, Interactive: true, Tier: s.tier})
 	if s.flightBarrier != nil {
 		s.flightBarrier()
 	}
 	at := s.now()
+	var pubStart time.Time
+	if tr != nil {
+		pubStart = time.Now()
+		defer func() { tr.AddSince(obs.StagePublish, pubStart) }()
+	}
 	symFailed := make(map[string]bool)
 	s.mu.Lock()
 	for j, i := range ids {
@@ -666,6 +757,7 @@ func (s *Server) repriceDirty() error {
 			var spe *SolvePanicError
 			if errors.As(err, &spe) {
 				c.quar = &QuarantineRecord{Contract: i, Symbol: sym, At: at, Err: err, Stack: spe.Stack}
+				obs.RecordEvent(obs.EvQuarantine, sym, int64(i), err.Error())
 			}
 			continue
 		}
@@ -681,12 +773,44 @@ func (s *Server) repriceDirty() error {
 	for sym, failed := range symFailed {
 		b := s.breakers[sym]
 		if !failed {
-			b.Success()
+			if b.Success() {
+				obs.RecordEvent(obs.EvBreakerClose, sym, 0, "")
+			}
 			continue
 		}
 		if b.Failure(at) {
 			serve.AddCircuitOpen()
+			obs.RecordEvent(obs.EvBreakerOpen, sym, 0, "")
 		}
 	}
 	return nil
+}
+
+// flightLabel names a repricing flight after the symbols it covers, for the
+// trace rings and the flight recorder: distinct symbols in request order,
+// capped so a wide book cannot bloat the label.
+func flightLabel(reqs []Request) string {
+	const maxSyms = 4
+	var syms []string
+	for i := range reqs {
+		sym := reqs[i].Tag
+		if len(syms) > 0 && syms[len(syms)-1] == sym {
+			continue
+		}
+		dup := false
+		for _, s := range syms {
+			if s == sym {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if len(syms) == maxSyms {
+			return strings.Join(syms, ",") + ",…"
+		}
+		syms = append(syms, sym)
+	}
+	return strings.Join(syms, ",")
 }
